@@ -1,0 +1,86 @@
+"""Ablation — block size: the granularity knob of Corollary 2.
+
+The block width ``w`` appears directly in the paper's space bounds
+(``S1/p + w`` for both applications) and controls the task granularity /
+overhead-sensitivity trade-off.  The sweep reports, for the Cholesky
+workload: task count, DTS space bound, actual DTS MIN_MEM, and the
+predicted parallel time — smaller blocks give finer parallelism and a
+tighter memory bound but more per-task overhead exposure.
+"""
+
+from repro.core import analyze_memory, dts_order, gantt
+from repro.core.dts import dts_space_bound
+from repro.experiments.report import render_table
+from repro.sparse.cholesky import build_cholesky
+from repro.sparse.matrices import bcsstk15_like
+
+
+def test_block_size_sweep(benchmark, ctx, record):
+    a = bcsstk15_like(scale=0.08)
+    p = 8
+    flop_time = 1.0 / ctx.spec.flop_rate
+    comm = ctx.spec.comm_model()
+
+    def one(w, partition):
+        prob = build_cholesky(a, block_size=w, flop_time=flop_time,
+                              with_kernels=False, partition=partition)
+        pl = prob.placement(p)
+        asg = prob.assignment(pl)
+        sched = dts_order(prob.graph, pl, asg, comm)
+        prof = analyze_memory(sched)
+        bound = dts_space_bound(prob.graph, pl, asg)
+        label = f"{w}" if partition == "uniform" else f"sn<={w}"
+        return (label, prob.graph.num_tasks, prof.min_mem, bound,
+                gantt(sched, comm).makespan)
+
+    def sweep():
+        rows = [one(w, "uniform") for w in (6, 10, 16, 24)]
+        rows.append(one(16, "supernodal"))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    record(
+        "ablation_blocksize",
+        render_table(
+            ["w", "tasks", "DTS MIN_MEM", "Thm-2 bound", "predicted PT"],
+            [[str(w), str(t), str(m), str(b), f"{pt*1e3:.2f} ms"]
+             for w, t, m, b, pt in rows],
+            title=f"Ablation: block size sweep incl. supernodal (Cholesky, DTS, P={p})",
+        ),
+    )
+    rows = rows[:4]  # the monotonicity assertions below are for uniform
+    # Theorem 2 holds at every granularity.
+    for _w, _t, m, b, _pt in rows:
+        assert m <= b
+    # Finer blocks -> more tasks.
+    tasks = [t for _w, t, _m, _b, _pt in rows]
+    assert tasks == sorted(tasks, reverse=True)
+
+
+def test_ordering_sweep(benchmark, ctx, record):
+    """Fill-reducing ordering choice: MD vs RCM vs natural — fill, task
+    count and memory all depend on it (minimum degree wins)."""
+    from repro.sparse.symbolic import fill_nnz, symbolic_cholesky
+    from repro.sparse.ordering import order_matrix
+
+    a = bcsstk15_like(scale=0.08)
+
+    def sweep():
+        rows = []
+        for method in ("md", "rcm", "natural"):
+            am, _perm = order_matrix(a, method)
+            cols, _ = symbolic_cholesky(am)
+            rows.append((method, fill_nnz(cols)))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    record(
+        "ablation_ordering",
+        render_table(
+            ["ordering", "nnz(L)"],
+            [[m, str(f)] for m, f in rows],
+            title="Ablation: fill-reducing ordering (bcsstk15-like)",
+        ),
+    )
+    fills = dict(rows)
+    assert fills["md"] <= fills["natural"]

@@ -1,0 +1,30 @@
+"""Figure 7 — memory scalability S1/S_p of RCP / MPO / DTS.
+
+Paper shape: DTS tracks the perfect ``S1/p`` curve, MPO significantly
+improves on RCP, RCP is not memory scalable — dramatically so for LU
+(its curve stays nearly flat).
+"""
+
+from repro.experiments import run_figure7
+
+
+def test_figure7_cholesky(benchmark, ctx, record):
+    fig = benchmark.pedantic(
+        lambda: run_figure7(ctx, "cholesky"), rounds=1, iterations=1
+    )
+    record("figure7_cholesky", fig.render())
+    for i, p in enumerate(fig.procs):
+        assert fig.series["RCP"][i] <= fig.series["MPO"][i] + 1e-9
+        assert fig.series["DTS"][i] <= p + 1e-9
+    # MPO meaningfully better than RCP at scale.
+    assert fig.series["MPO"][-1] > 1.3 * fig.series["RCP"][-1]
+
+
+def test_figure7_lu(benchmark, ctx, record):
+    fig = benchmark.pedantic(lambda: run_figure7(ctx, "lu"), rounds=1, iterations=1)
+    record("figure7_lu", fig.render())
+    # RCP nearly flat for LU (paper's most dramatic curve).
+    assert fig.series["RCP"][-1] < 0.3 * fig.procs[-1]
+    # DTS close to MPO or better, both far above RCP.
+    assert fig.series["DTS"][-1] >= fig.series["RCP"][-1]
+    assert fig.series["MPO"][-1] > 2 * fig.series["RCP"][-1]

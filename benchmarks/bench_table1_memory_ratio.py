@@ -1,0 +1,18 @@
+"""Table 1 — per-processor memory usage over S1/p (original RAPID).
+
+Paper values (Cray-T3D, BCSSTK15/24): 1.88, 3.19, 4.64, 5.72 for
+p = 2, 4, 8, 16 — the ratio grows with p because each processor owns
+fewer permanent objects while needing more volatile copies.
+"""
+
+from repro.experiments import table1
+
+
+def test_table1(benchmark, ctx, record):
+    result = benchmark.pedantic(lambda: table1(ctx), rounds=1, iterations=1)
+    record("table1", result.render())
+    # Shape assertions: ratio > 1 and strictly growing with p.
+    procs = result.procs
+    assert all(result.ratios[p] > 1.0 for p in procs)
+    for a, b in zip(procs, procs[1:]):
+        assert result.ratios[a] < result.ratios[b]

@@ -1,0 +1,15 @@
+"""The replication scorecard as a benchmark artifact.
+
+Runs every machine-checkable claim (worked-example exact values + the
+directional trends of each table/figure) and records the PASS/FAIL
+checklist alongside the regenerated tables.
+"""
+
+from repro.experiments.validate import render_scorecard, validate
+
+
+def test_scorecard(benchmark, ctx, record):
+    claims = benchmark.pedantic(lambda: validate(ctx), rounds=1, iterations=1)
+    record("scorecard", render_scorecard(claims))
+    failed = [c for c in claims if not c.passed]
+    assert not failed, render_scorecard(failed)

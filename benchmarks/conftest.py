@@ -1,0 +1,39 @@
+"""Shared fixtures for the benchmark harness.
+
+Every ``bench_table*`` / ``bench_figure*`` file regenerates one table or
+figure of the paper.  The rendered output is printed and also written to
+``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can reference the
+latest run.
+
+The :class:`~repro.experiments.ExperimentContext` is session-scoped:
+schedules and profiles are shared across benchmarks, so the benchmark
+timings measure the incremental work of each experiment.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments import ExperimentContext
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def ctx() -> ExperimentContext:
+    return ExperimentContext()
+
+
+@pytest.fixture(scope="session")
+def record():
+    """Persist a rendered experiment output under benchmarks/results/."""
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _record(name: str, text: str) -> None:
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print("\n" + text)
+
+    return _record

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Memory scalability of RCP / MPO / DTS (the Figure 7 experiment).
+
+For growing processor counts, report the memory reduction ratio
+``S1 / S_p`` of each ordering heuristic against the perfect ``S1/p``
+line — on both applications.  DTS should track the perfect curve, MPO
+sit in between, and RCP fall behind (dramatically for LU).
+
+Run:  python examples/memory_scalability.py
+"""
+
+from repro.core import analyze_memory, dts_order, mpo_order, rcp_order
+from repro.machine.spec import CRAY_T3D
+from repro.sparse.cholesky import build_cholesky
+from repro.sparse.lu import build_lu
+from repro.sparse.matrices import bcsstk15_like, goodwin_like
+
+ORDERINGS = {"RCP": rcp_order, "MPO": mpo_order, "DTS": dts_order}
+PROCS = (2, 4, 8, 16, 32)
+
+
+def sweep(name: str, prob) -> None:
+    g = prob.graph
+    print(f"\n{name}: n={prob.n}, {g.num_tasks} tasks, S1={g.total_data()} B")
+    print(f"{'p':>3} | {'perfect':>7} | " + " | ".join(f"{h:>6}" for h in ORDERINGS))
+    for p in PROCS:
+        pl = prob.placement(p)
+        asg = prob.assignment(pl)
+        ratios = []
+        for fn in ORDERINGS.values():
+            prof = analyze_memory(fn(g, pl, asg))
+            ratios.append(prof.memory_scalability())
+        cells = " | ".join(f"{r:>6.2f}" for r in ratios)
+        print(f"{p:>3} | {float(p):>7.2f} | {cells}")
+
+
+def main() -> None:
+    ft = 1.0 / CRAY_T3D.flop_rate
+    sweep(
+        "sparse Cholesky (bcsstk15-like)",
+        build_cholesky(bcsstk15_like(scale=0.1), block_size=10,
+                       flop_time=ft, with_kernels=False),
+    )
+    sweep(
+        "sparse LU (goodwin-like)",
+        build_lu(goodwin_like(scale=0.05), block_size=10,
+                 flop_time=ft, with_kernels=False),
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""N-body timestepping — RAPID's other motivating irregular workload.
+
+Builds the cell-based N-body force DAG (non-uniform cell occupancy =
+mixed granularity; commuting force accumulations), verifies that every
+scheduling heuristic reproduces the exact particle trajectory, and shows
+the iterative-execution amortization: after the first timestep notifies
+the volatile addresses, steady-state steps run with no address traffic.
+
+Run:  python examples/nbody_timesteps.py
+"""
+
+import numpy as np
+
+from repro.core import analyze_memory, dts_order, mpo_order, rcp_order
+from repro.machine.spec import CRAY_T3D
+from repro.nbody import build_nbody
+from repro.rapid.api import ParallelProgram
+from repro.rapid.executor import execute_schedule
+
+P = 8
+
+
+def main() -> None:
+    prob = build_nbody(k=6, steps=2, mean_particles=8.0, seed=11,
+                       flop_time=1.0 / CRAY_T3D.flop_rate)
+    g = prob.graph
+    print(f"{prob.total_particles} particles in {prob.k}x{prob.k} cells, "
+          f"{prob.steps} timesteps -> {g.num_tasks} tasks, {g.num_edges} edges")
+    print(f"cell occupancy: min={prob.counts.min()}, max={prob.counts.max()} "
+          f"(mixed granularity)")
+
+    placement = prob.placement(P)
+    assignment = prob.assignment(placement)
+    ref = prob.reference_trajectory()
+
+    for name, fn in (("RCP", rcp_order), ("MPO", mpo_order), ("DTS", dts_order)):
+        sched = fn(g, placement, assignment)
+        store = prob.initial_store()
+        execute_schedule(sched, store)
+        err = np.max(np.abs(prob.gather_positions(store) - ref))
+        prof = analyze_memory(sched)
+        print(f"[{name}] trajectory error {err:.1e}, "
+              f"MIN_MEM {prof.min_mem} B, TOT {prof.tot} B")
+
+    # iterative amortization with the MPO schedule
+    prog = ParallelProgram(schedule=mpo_order(g, placement, assignment),
+                           spec=CRAY_T3D)
+    it = prog.run_iterative(50, capacity=prog.min_mem)
+    print(f"\niterative execution (50 rounds of the {prob.steps}-step graph):")
+    print(f"  first round : {it.first.parallel_time*1e3:.3f} ms "
+          f"({sum(s.packages_sent for s in it.first.stats)} address packages)")
+    print(f"  steady round: {it.steady.parallel_time*1e3:.3f} ms "
+          f"({sum(s.packages_sent for s in it.steady.stats)} address packages)")
+    print(f"  amortized   : {it.amortized_time*1e3:.3f} ms/round")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The execution environment has no ``wheel`` package, so PEP-660 editable
+installs (``pip install -e .`` with build isolation) cannot build. This
+shim lets ``pip install -e . --no-build-isolation --no-use-pep517``
+perform a classic develop install; all metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,57 @@
+"""repro — reproduction of Fu & Yang, *Space and Time Efficient Execution
+of Parallel Irregular Computations* (PPoPP 1997).
+
+The package provides:
+
+* :mod:`repro.graph` — task/data-object parallelism model and the
+  inspector-style graph builder;
+* :mod:`repro.core` — the paper's contribution: the memory model
+  (Definitions 1-7), RCP/MPO/DTS ordering heuristics, DSC clustering and
+  the MAP (memory allocation point) planner;
+* :mod:`repro.machine` — a discrete-event simulator of a distributed
+  memory machine with RMA communication (the Cray-T3D stand-in),
+  executing schedules under the five-state active memory management
+  protocol of section 3;
+* :mod:`repro.rapid` — the RAPID-style runtime API (Figure 1 pipeline);
+* :mod:`repro.sparse` — sparse Cholesky / LU application substrates;
+* :mod:`repro.experiments` — regeneration of every table and figure of
+  the paper's evaluation.
+"""
+
+from . import errors
+from .graph import DataObject, GraphBuilder, Task, TaskGraph
+from .core import (
+    CommModel,
+    Placement,
+    Schedule,
+    analyze_memory,
+    cyclic_placement,
+    dts_order,
+    gantt,
+    mpo_order,
+    owner_compute_assignment,
+    plan_maps,
+    rcp_order,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CommModel",
+    "DataObject",
+    "GraphBuilder",
+    "Placement",
+    "Schedule",
+    "Task",
+    "TaskGraph",
+    "analyze_memory",
+    "cyclic_placement",
+    "dts_order",
+    "errors",
+    "gantt",
+    "mpo_order",
+    "owner_compute_assignment",
+    "plan_maps",
+    "rcp_order",
+    "__version__",
+]

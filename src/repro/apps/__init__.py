@@ -1,0 +1,14 @@
+"""Higher-level applications driving the RAPID pipeline."""
+
+from .cg import CGProblem, CGResult, build_cg, cg_solve
+from .newton import BratuProblem, NewtonResult, newton_solve
+
+__all__ = [
+    "BratuProblem",
+    "CGProblem",
+    "CGResult",
+    "NewtonResult",
+    "build_cg",
+    "cg_solve",
+    "newton_solve",
+]

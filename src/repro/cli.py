@@ -1,0 +1,191 @@
+"""Command-line interface: regenerate the paper's experiments.
+
+Usage::
+
+    python -m repro list                # available experiments
+    python -m repro table1             # one table
+    python -m repro table2 --procs 4 8
+    python -m repro figure7 --app lu
+    python -m repro table8
+    python -m repro example            # the Figure 2/3/5 walkthrough
+    python -m repro all                # everything (a few minutes)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .experiments import (
+    ExperimentContext,
+    run_figure7,
+    run_table8,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+    table7,
+)
+
+EXPERIMENTS = (
+    "table1", "table2", "table3", "table4", "table5", "table6", "table7",
+    "table8", "figure7",
+)
+
+
+def _paper_example_walkthrough() -> str:
+    from .core import analyze_memory, dts_order, plan_maps
+    from .core.dcg import build_dcg
+    from .graph.paper_example import (
+        paper_assignment,
+        paper_example_graph,
+        paper_placement,
+        schedule_b,
+        schedule_c,
+    )
+
+    g = paper_example_graph()
+    pl = paper_placement()
+    asg = paper_assignment(g, pl)
+    lines = [f"Figure 2(a): {g.num_tasks} tasks, {g.num_objects} objects"]
+    lines.append(f"MIN_MEM Fig2(b) = {analyze_memory(schedule_b(g)).min_mem} (paper: 9)")
+    lines.append(f"MIN_MEM Fig2(c) = {analyze_memory(schedule_c(g)).min_mem} (paper: 8)")
+    lines.append(
+        "MIN_MEM DTS     = "
+        f"{analyze_memory(dts_order(g, pl, asg)).min_mem} (paper: 7)"
+    )
+    dcg = build_dcg(g)
+    lines.append(
+        "DCG slices: " + " -> ".join(o[0] for o in dcg.comp_objects)
+    )
+    plan = plan_maps(schedule_c(g), 8)
+    lines.append(f"MAPs under capacity 8: {plan.maps_per_proc} per processor")
+    return "\n".join(lines)
+
+
+def _render_example_svgs(out_dir: str) -> list[str]:
+    """Write Gantt + memory SVGs of the paper example's three schedules."""
+    import pathlib
+
+    from .core import analyze_memory, dts_order, gantt
+    from .core.viz import gantt_svg, memory_svg
+    from .graph.paper_example import (
+        paper_assignment,
+        paper_example_graph,
+        paper_placement,
+        schedule_b,
+        schedule_c,
+    )
+
+    out = pathlib.Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    g = paper_example_graph()
+    pl = paper_placement()
+    asg = paper_assignment(g, pl)
+    written = []
+    for label, sched in (
+        ("fig2b_rcp", schedule_b(g)),
+        ("fig2c_mpo", schedule_c(g)),
+        ("fig5_dts", dts_order(g, pl, asg)),
+    ):
+        p1 = out / f"{label}_gantt.svg"
+        gantt_svg(gantt(sched), path=str(p1), label_tasks=True)
+        p2 = out / f"{label}_memory.svg"
+        memory_svg(analyze_memory(sched), path=str(p2), capacity=8)
+        written += [str(p1), str(p2)]
+    return written
+
+
+def run_experiment(name: str, ctx: ExperimentContext, args) -> str:
+    procs = tuple(args.procs) if args.procs else None
+    if name == "table1":
+        return table1(ctx, procs=procs or (2, 4, 8, 16)).render()
+    if name == "table2":
+        return table2(ctx, procs=procs or (2, 4, 8, 16, 32)).render()
+    if name == "table3":
+        return table3(ctx, procs=procs or (2, 4, 8, 16, 32)).render()
+    if name in ("table4", "table6", "table7"):
+        fn = {"table4": table4, "table6": table6, "table7": table7}[name]
+        out = []
+        apps = (args.app,) if args.app else ("cholesky", "lu")
+        for app in apps:
+            out.append(fn(ctx, app, procs=procs or (2, 4, 8, 16, 32)).render())
+        return "\n\n".join(out)
+    if name == "table5":
+        return table5(ctx, procs=procs or (2, 4, 8, 16, 32)).render()
+    if name == "table8":
+        return run_table8().render()
+    if name == "figure7":
+        apps = (args.app,) if args.app else ("cholesky", "lu")
+        return "\n\n".join(
+            run_figure7(ctx, app, procs=procs or (2, 4, 8, 16, 32)).render()
+            for app in apps
+        )
+    raise ValueError(f"unknown experiment {name!r}")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the evaluation of Fu & Yang, PPoPP 1997.",
+    )
+    parser.add_argument(
+        "experiment",
+        help="one of: " + ", ".join(EXPERIMENTS) + ", example, svg, list, all",
+    )
+    parser.add_argument("--app", choices=("cholesky", "lu"), default=None,
+                        help="restrict comparison tables to one application")
+    parser.add_argument("--procs", type=int, nargs="*", default=None,
+                        help="processor counts to sweep")
+    parser.add_argument("--out", default=".",
+                        help="output directory for the 'svg' command")
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        print("\n".join(EXPERIMENTS + ("example", "svg", "sweep", "validate")))
+        return 0
+    if args.experiment == "example":
+        print(_paper_example_walkthrough())
+        return 0
+    if args.experiment == "svg":
+        for path in _render_example_svgs(args.out):
+            print(f"wrote {path}")
+        return 0
+    if args.experiment == "validate":
+        from .experiments.validate import render_scorecard, validate
+
+        claims = validate(ExperimentContext())
+        print(render_scorecard(claims))
+        return 0 if all(c.passed for c in claims) else 1
+    if args.experiment == "sweep":
+        import pathlib
+
+        from .experiments.sweep import full_sweep, to_csv
+
+        ctx = ExperimentContext()
+        records = full_sweep(
+            ctx, procs=tuple(args.procs) if args.procs else (2, 4, 8, 16, 32)
+        )
+        out = pathlib.Path(args.out)
+        target = out / "sweep.csv" if out.is_dir() or not out.suffix else out
+        target.parent.mkdir(parents=True, exist_ok=True)
+        to_csv(records, path=str(target))
+        print(f"wrote {target} ({len(records)} records)")
+        return 0
+
+    ctx = ExperimentContext()
+    names = EXPERIMENTS if args.experiment == "all" else (args.experiment,)
+    for name in names:
+        if name not in EXPERIMENTS:
+            print(f"unknown experiment {name!r}; try 'list'", file=sys.stderr)
+            return 2
+        print(run_experiment(name, ctx, args))
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

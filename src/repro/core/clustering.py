@@ -1,0 +1,162 @@
+"""Stage-1 mapping: task clustering and cluster -> processor mapping.
+
+The paper's two-stage mapping (section 4) first groups tasks into
+clusters to exploit data locality — either with the **owner-compute
+rule** (all tasks modifying the same object form one cluster; used by
+the sparse experiments) or with **DSC** (Dominant Sequence Clustering,
+Yang & Gerasoulis [21]) for general DAGs — and then maps clusters to
+physical processors with a load-balancing criterion.
+
+The DSC variant implemented here is the standard greedy edge-zeroing
+walk: tasks are examined in topological order; a task joins the
+predecessor cluster that minimises its start time (edges internal to a
+cluster cost zero, the cluster executes sequentially), or starts its own
+cluster when no merge helps.  This preserves DSC's defining property —
+never increasing the dominant-sequence length estimate — without the
+full incremental machinery, which the paper itself does not rely on
+(its experiments cluster by owner-compute).
+
+Cluster mapping uses LPT (longest processing time first) bin packing
+onto ``p`` processors, the "load balancing criterion" of section 4.
+After a general clustering, :func:`colocate_writers` merges clusters so
+that every object keeps all its writers in one cluster, re-establishing
+the owner-compute invariant required by the memory model.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Sequence
+
+from ..graph.analysis import size_edge_cost
+from ..graph.taskgraph import TaskGraph
+from .placement import Placement, derive_placement
+from .schedule import CommModel, UNIT_COMM
+
+
+class _UnionFind:
+    def __init__(self, n: int):
+        self.parent = list(range(n))
+
+    def find(self, x: int) -> int:
+        while self.parent[x] != x:
+            self.parent[x] = self.parent[self.parent[x]]
+            x = self.parent[x]
+        return x
+
+    def union(self, a: int, b: int) -> int:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self.parent[rb] = ra
+        return ra
+
+
+def dsc_cluster(graph: TaskGraph, comm: CommModel = UNIT_COMM) -> list[int]:
+    """Greedy DSC-style clustering.
+
+    Returns ``cluster_id`` per task (dense ids, order of creation).
+    Tasks are walked in topological order; each either joins the cluster
+    of one of its predecessors (the one minimising its start time, with
+    intra-cluster edges free) or opens a new cluster.
+    """
+    cost = size_edge_cost(graph, comm.latency, comm.byte_time)
+    cluster_of: dict[str, int] = {}
+    cluster_ready: list[float] = []  # finish time of the cluster's last task
+    finish: dict[str, float] = {}
+
+    for t in graph.topological_order():
+        w = graph.task(t).weight
+        preds = list(graph.predecessors(t))
+        # Start time if placed in a fresh cluster: all messages paid.
+        best_start = max(
+            (finish[p] + cost(p, t, graph.edge_objects(p, t)) for p in preds),
+            default=0.0,
+        )
+        best_cluster = -1
+        for p in preds:
+            c = cluster_of[p]
+            # Appending to cluster c: its edge becomes free, the cluster
+            # is busy until cluster_ready[c]; other messages still paid.
+            start = cluster_ready[c]
+            for q in preds:
+                arr = finish[q]
+                if cluster_of[q] != c:
+                    arr += cost(q, t, graph.edge_objects(q, t))
+                start = max(start, arr)
+            if start < best_start:
+                best_start = start
+                best_cluster = c
+        if best_cluster < 0:
+            best_cluster = len(cluster_ready)
+            cluster_ready.append(0.0)
+        cluster_of[t] = best_cluster
+        finish[t] = best_start + w
+        cluster_ready[best_cluster] = finish[t]
+
+    # Densify ids in task order.
+    remap: dict[int, int] = {}
+    out: list[int] = []
+    for t in graph.task_names:
+        c = cluster_of[t]
+        if c not in remap:
+            remap[c] = len(remap)
+        out.append(remap[c])
+    return out
+
+
+def colocate_writers(graph: TaskGraph, clusters: Sequence[int]) -> list[int]:
+    """Merge clusters so all writers of each object share one cluster
+    (the owner-compute invariant)."""
+    n = max(clusters, default=-1) + 1
+    uf = _UnionFind(n)
+    first_writer_cluster: dict[str, int] = {}
+    idx = {t: i for i, t in enumerate(graph.task_names)}
+    for t in graph.tasks():
+        c = clusters[idx[t.name]]
+        for o in t.writes:
+            prev = first_writer_cluster.get(o)
+            if prev is None:
+                first_writer_cluster[o] = c
+            else:
+                uf.union(prev, c)
+    remap: dict[int, int] = {}
+    out: list[int] = []
+    for i, _t in enumerate(graph.task_names):
+        r = uf.find(clusters[i])
+        if r not in remap:
+            remap[r] = len(remap)
+        out.append(remap[r])
+    return out
+
+
+def lpt_map_clusters(
+    graph: TaskGraph, clusters: Sequence[int], num_procs: int
+) -> dict[str, int]:
+    """Map clusters to processors, heaviest cluster first onto the least
+    loaded processor (LPT load balancing).  Returns task -> processor."""
+    idx = {t: i for i, t in enumerate(graph.task_names)}
+    nclusters = max(clusters, default=-1) + 1
+    work = [0.0] * nclusters
+    for t in graph.tasks():
+        work[clusters[idx[t.name]]] += t.weight
+    heap = [(0.0, p) for p in range(num_procs)]
+    heapq.heapify(heap)
+    proc_of_cluster = [0] * nclusters
+    for c in sorted(range(nclusters), key=lambda c: -work[c]):
+        load, p = heapq.heappop(heap)
+        proc_of_cluster[c] = p
+        heapq.heappush(heap, (load + work[c], p))
+    return {t: proc_of_cluster[clusters[idx[t]]] for t in graph.task_names}
+
+
+def dsc_map(
+    graph: TaskGraph,
+    num_procs: int,
+    comm: CommModel = UNIT_COMM,
+) -> tuple[dict[str, int], Placement]:
+    """Full stage-1 pipeline for general DAGs: DSC clustering, writer
+    co-location, LPT mapping, induced placement."""
+    clusters = colocate_writers(graph, dsc_cluster(graph, comm))
+    assignment = lpt_map_clusters(graph, clusters, num_procs)
+    placement = derive_placement(graph, assignment, num_procs)
+    return assignment, placement

@@ -1,0 +1,136 @@
+"""DTS — Data-access directed Time Slicing (section 4.2).
+
+DTS is the aggressive memory-saving ordering: it slices the computation
+via the DCG (see :mod:`repro.core.dcg`) so that all tasks within a slice
+access a small group of volatile objects, then schedules slice by slice.
+Within a slice, ready tasks are ordered by critical-path priority; a
+ready task of a later slice is *not* scheduled while its processor still
+has unscheduled tasks of earlier slices (the slice gate of the list
+scheduler).
+
+Theorem 2: a DTS schedule with slices ``L_1..L_k`` and assignment ``R``
+is executable under ``S1/p + h`` per-processor space, where
+``h = max_i H(R, L_i)`` — because once a slice's tasks have run, all its
+volatile objects are dead (any later user would have placed the task in
+this slice).  :func:`dts_space_bound` exposes the bound, and the test
+suite asserts it against :func:`repro.core.liveness.analyze_memory`.
+
+When the available memory is known, consecutive slices are merged while
+their combined volatile requirement fits (Figure 6), giving the
+scheduler more critical-path freedom — the "DTS with slice merging"
+variant of Table 7.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from ..errors import SchedulingError
+from ..graph.taskgraph import TaskGraph
+from .dcg import DCG, build_dcg, slice_volatile_space
+from .listsched import StaticPolicy, run_list_scheduler
+from .placement import Placement, perm_vola_sets
+from .rcp import rcp_priorities
+from .schedule import CommModel, Schedule, UNIT_COMM
+
+
+def merge_slices(h_values: list[int], avail_volatile: int) -> list[int]:
+    """Figure 6: greedily merge consecutive slices while the *sum* of
+    their volatile requirements fits in ``avail_volatile``.
+
+    Returns ``new_index[i]`` — the merged slice of original slice ``i``.
+    The sum is a safe over-estimate of the merged slice's requirement.
+    """
+    if not h_values:
+        return []
+    new_index = [0] * len(h_values)
+    space_req = h_values[0]
+    k = 0
+    for i in range(1, len(h_values)):
+        if space_req + h_values[i] <= avail_volatile:
+            space_req += h_values[i]
+        else:
+            k += 1
+            space_req = h_values[i]
+        new_index[i] = k
+    return new_index
+
+
+def dts_order(
+    graph: TaskGraph,
+    placement: Placement,
+    assignment: Mapping[str, int],
+    comm: CommModel = UNIT_COMM,
+    avail_mem: Optional[int] = None,
+    meta: Optional[dict] = None,
+    dcg: Optional[DCG] = None,
+) -> Schedule:
+    """Order tasks slice-by-slice (DTS).
+
+    Parameters
+    ----------
+    avail_mem:
+        Per-processor memory capacity.  When given, consecutive slices
+        are merged while they jointly fit (Figure 6) — pass ``None`` for
+        plain DTS.
+    dcg:
+        Optionally reuse a precomputed DCG.
+    """
+    if dcg is None:
+        dcg = build_dcg(graph)
+    if dcg.graph is not graph:
+        raise SchedulingError("DCG was built from a different graph")
+    slice_of = dcg.slice_of()
+    h_values = slice_volatile_space(dcg, placement, assignment)
+    h = max(h_values, default=0)
+
+    merged = False
+    if avail_mem is not None:
+        # Volatile budget: capacity minus the largest permanent footprint.
+        perm, _vola = perm_vola_sets(graph, placement, assignment)
+        perm_bytes = max(
+            (sum(graph.object(o).size for o in s) for s in perm), default=0
+        )
+        budget = avail_mem - perm_bytes
+        new_index = merge_slices(h_values, budget)
+        slice_of = {t: new_index[s] for t, s in slice_of.items()}
+        merged = True
+
+    cp = rcp_priorities(graph, assignment, comm)
+    info = {
+        "heuristic": "DTS+merge" if merged else "DTS",
+        "num_slices": len(set(slice_of.values())) if slice_of else 0,
+        "dts_h": h,
+        "dcg_acyclic": dcg.is_acyclic(),
+    }
+    info.update(meta or {})
+    return run_list_scheduler(
+        graph,
+        placement,
+        assignment,
+        StaticPolicy(cp),
+        comm=comm,
+        levels=slice_of,
+        meta=info,
+    )
+
+
+def dts_space_bound(
+    graph: TaskGraph,
+    placement: Placement,
+    assignment: Mapping[str, int],
+    dcg: Optional[DCG] = None,
+) -> int:
+    """Theorem 2's per-processor space bound for a DTS schedule:
+    ``max_P perm_bytes(P) + max_i H(R, L_i)``.
+
+    (The theorem states ``S1/p + h`` under the assumption that the
+    assignment distributes permanent space evenly; this function uses the
+    actual permanent footprint, which is the tight form.)
+    """
+    if dcg is None:
+        dcg = build_dcg(graph)
+    perm, _ = perm_vola_sets(graph, placement, assignment)
+    perm_bytes = max((sum(graph.object(o).size for o in s) for s in perm), default=0)
+    h = max(slice_volatile_space(dcg, placement, assignment), default=0)
+    return perm_bytes + h

@@ -1,0 +1,215 @@
+"""Shared list-scheduling engine for the ordering heuristics.
+
+The second mapping stage of the paper (section 4) orders the tasks of
+each processor given a fixed task -> processor assignment.  RCP, MPO and
+DTS all instantiate the same scheduling cycle (Figure 4):
+
+1. find the processor with the earliest idle time among processors that
+   have *ready* tasks (a task is ready when all its predecessors have
+   been scheduled — their data "can be received at this point");
+2. on that processor, schedule the ready task with the highest priority;
+3. update priorities and ready sets.
+
+The engine is parameterised by a :class:`PriorityPolicy`:
+
+* ``priority(task)`` returns a sortable tuple (larger = scheduled
+  first);
+* ``on_scheduled(task, proc)`` lets the policy update internal state and
+  return the set of tasks whose priority changed (their heap entries are
+  refreshed lazily);
+* optional per-task *levels* implement DTS's slice gate: a ready task
+  whose level is higher than its processor's minimum incomplete level is
+  parked until every lower-level task of that processor is scheduled.
+
+Start times follow the macro-dataflow model: a task starts at
+``max(processor idle time, latest data arrival)`` where cross-processor
+arrivals pay the :class:`~repro.core.schedule.CommModel` cost.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable, Mapping, Optional, Protocol
+
+from ..errors import SchedulingError
+from ..graph.taskgraph import TaskGraph
+from .placement import Placement
+from .schedule import CommModel, Schedule, UNIT_COMM
+
+
+class PriorityPolicy(Protocol):
+    """Strategy object consumed by :func:`run_list_scheduler`."""
+
+    def priority(self, task: str) -> tuple:
+        """Sort key of a ready task; larger tuples are scheduled first."""
+        ...
+
+    def on_scheduled(self, task: str, proc: int) -> Iterable[str]:
+        """Notify that ``task`` was placed; return tasks whose priority
+        changed (only ready tasks need to be reported)."""
+        ...
+
+
+class StaticPolicy:
+    """Priorities fixed up-front (RCP, DTS-within-slice)."""
+
+    def __init__(self, priorities: Mapping[str, tuple | float]):
+        self._p = {
+            t: (v if isinstance(v, tuple) else (v,)) for t, v in priorities.items()
+        }
+
+    def priority(self, task: str) -> tuple:
+        return self._p[task]
+
+    def on_scheduled(self, task: str, proc: int) -> Iterable[str]:
+        return ()
+
+
+def run_list_scheduler(
+    graph: TaskGraph,
+    placement: Placement,
+    assignment: Mapping[str, int],
+    policy: PriorityPolicy,
+    comm: CommModel = UNIT_COMM,
+    levels: Optional[Mapping[str, int]] = None,
+    meta: Optional[dict] = None,
+) -> Schedule:
+    """Order the tasks of every processor with the given policy.
+
+    Returns a validated :class:`~repro.core.schedule.Schedule`.
+    """
+    nprocs = placement.num_procs
+    for t in graph.task_names:
+        if t not in assignment:
+            raise SchedulingError(f"task {t!r} has no processor assignment")
+
+    remaining = {t: graph.in_degree(t) for t in graph.task_names}
+    finish: dict[str, float] = {}
+    idle = [0.0] * nprocs
+    orders: list[list[str]] = [[] for _ in range(nprocs)]
+
+    # Per-processor ready heaps with lazy invalidation.
+    heaps: list[list[tuple]] = [[] for _ in range(nprocs)]
+    version: dict[str, int] = {t: 0 for t in graph.task_names}
+    counter = 0
+
+    # DTS slice gate state.
+    lvl_remaining: list[dict[int, int]] = [dict() for _ in range(nprocs)]
+    min_level: list[int] = [0] * nprocs
+    parked: list[list[tuple[int, int, str]]] = [[] for _ in range(nprocs)]
+    if levels is not None:
+        for t in graph.task_names:
+            p = assignment[t]
+            l = levels[t]
+            lvl_remaining[p][l] = lvl_remaining[p].get(l, 0) + 1
+        for p in range(nprocs):
+            min_level[p] = min(lvl_remaining[p], default=0)
+
+    def neg(t: tuple) -> tuple:
+        return tuple(-x for x in t)
+
+    def push(task: str) -> None:
+        nonlocal counter
+        p = assignment[task]
+        if levels is not None and levels[task] > min_level[p]:
+            heapq.heappush(parked[p], (levels[task], counter, task))
+            counter += 1
+            return
+        counter += 1
+        heapq.heappush(heaps[p], (neg(policy.priority(task)), counter, task, version[task]))
+
+    def unpark(p: int) -> None:
+        """Move parked tasks whose level became current into the heap."""
+        nonlocal counter
+        while parked[p] and parked[p][0][0] <= min_level[p]:
+            _, _, task = heapq.heappop(parked[p])
+            counter += 1
+            heapq.heappush(
+                heaps[p], (neg(policy.priority(task)), counter, task, version[task])
+            )
+
+    def pop(p: int) -> Optional[str]:
+        """Pop the highest-priority non-stale entry of processor ``p``."""
+        h = heaps[p]
+        while h:
+            _, _, task, ver = h[0]
+            if ver != version[task] or task in finish:
+                heapq.heappop(h)
+                continue
+            heapq.heappop(h)
+            return task
+        return None
+
+    scheduled = 0
+    total = graph.num_tasks
+    for t in graph.task_names:
+        if remaining[t] == 0:
+            push(t)
+
+    while scheduled < total:
+        # Processor with earliest idle time among those with ready tasks.
+        best_p = -1
+        for p in range(nprocs):
+            # Drop stale heads so emptiness is accurate.
+            while heaps[p]:
+                _, _, task, ver = heaps[p][0]
+                if ver != version[task] or task in finish:
+                    heapq.heappop(heaps[p])
+                else:
+                    break
+            if heaps[p] and (best_p < 0 or idle[p] < idle[best_p]):
+                best_p = p
+        if best_p < 0:
+            raise SchedulingError(
+                f"list scheduler stalled with {total - scheduled} tasks left "
+                f"(inconsistent levels or assignment)"
+            )
+        task = pop(best_p)
+        assert task is not None
+        # Earliest start: processor idle time vs data arrivals.
+        est = idle[best_p]
+        for pred in graph.predecessors(task):
+            arr = finish[pred]
+            if assignment[pred] != best_p:
+                objs = graph.edge_objects(pred, task)
+                nbytes = sum(graph.object(o).size for o in objs)
+                arr += comm.cost(nbytes) if objs else comm.latency
+            if arr > est:
+                est = arr
+        w = graph.task(task).weight
+        finish[task] = est + w
+        idle[best_p] = est + w
+        orders[best_p].append(task)
+        scheduled += 1
+
+        # Slice-gate bookkeeping.
+        if levels is not None:
+            l = levels[task]
+            lvl_remaining[best_p][l] -= 1
+            if lvl_remaining[best_p][l] == 0:
+                del lvl_remaining[best_p][l]
+                min_level[best_p] = min(lvl_remaining[best_p], default=min_level[best_p])
+                unpark(best_p)
+
+        # Ready-set updates.
+        for s in graph.successors(task):
+            remaining[s] -= 1
+            if remaining[s] == 0:
+                push(s)
+
+        # Priority refreshes from the policy.
+        for u in policy.on_scheduled(task, best_p):
+            if u in finish or remaining.get(u, 1) != 0:
+                continue
+            version[u] += 1
+            push(u)
+
+    schedule = Schedule(
+        graph=graph,
+        placement=placement,
+        assignment=dict(assignment),
+        orders=orders,
+        meta=dict(meta or {}),
+    )
+    schedule.validate()
+    return schedule

@@ -1,0 +1,183 @@
+"""Static planning of Memory Allocation Points (MAPs) — section 3.3.
+
+MAPs are positions between consecutive tasks of a processor's schedule.
+Each MAP:
+
+1. **frees** the volatile objects that will not be accessed after the
+   current point (their dead points come from the static liveness
+   analysis of :mod:`repro.core.liveness`);
+2. **allocates** volatile space for the tasks that follow, walking the
+   execution chain ``T_1, T_2, ...`` and stopping after ``T_k`` when the
+   space for ``T_{k+1}`` cannot be allocated — the next MAP is placed
+   right before ``T_{k+1}``;
+3. **assembles address packages** for the collaborating processors: for
+   every newly allocated volatile object, the object's owner (its
+   producer under owner-compute) must learn the local address before it
+   can deposit data with an RMA put.
+
+The first MAP is always at the beginning of each processor's schedule.
+Because freeing happens eagerly at every MAP, a schedule is executable
+exactly when ``capacity >= MIN_MEM`` (Definition 6) — the planner and
+:func:`repro.core.liveness.analyze_memory` agree by construction, and the
+property tests assert it.
+
+With unconstrained memory the plan has a single MAP per processor, which
+models the *original* RAPID strategy ("each processor allocates its
+volatile space at once and notifies object addresses") whose cost the
+100% columns of Tables 2/3 measure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..errors import NonExecutableScheduleError
+from .liveness import MemoryProfile, analyze_memory
+from .schedule import Schedule
+
+
+@dataclass
+class MapPoint:
+    """One memory allocation point on one processor."""
+
+    proc: int
+    #: The MAP sits immediately before ``orders[proc][position]``; the
+    #: initial MAP has position 0.
+    position: int
+    #: Volatile objects freed here (dead before ``position``).
+    frees: list[str] = field(default_factory=list)
+    #: Volatile objects allocated here, in first-use order.
+    allocs: list[str] = field(default_factory=list)
+    #: Owner processor -> volatile objects whose fresh addresses must be
+    #: notified to it (it will RMA-put their contents here).
+    notifications: dict[int, list[str]] = field(default_factory=dict)
+
+    @property
+    def covers_through(self) -> Optional[int]:
+        """Last task position whose volatiles this MAP allocated
+        (filled in by the planner)."""
+        return self._covers_through
+
+    _covers_through: Optional[int] = None
+
+
+@dataclass
+class MapPlan:
+    """MAP positions and actions for a whole schedule under a capacity."""
+
+    schedule: Schedule
+    capacity: int
+    #: per-processor list of MAPs in execution order
+    points: list[list[MapPoint]]
+    profile: MemoryProfile
+
+    @property
+    def maps_per_proc(self) -> list[int]:
+        return [len(pts) for pts in self.points]
+
+    @property
+    def avg_maps(self) -> float:
+        """Average number of MAPs per processor (the ``#MAPs`` columns of
+        Tables 2/3/5).  Processors with no tasks are excluded."""
+        counts = [len(pts) for pts, order in zip(self.points, self.schedule.orders) if order]
+        return sum(counts) / len(counts) if counts else 0.0
+
+    @property
+    def total_allocations(self) -> int:
+        return sum(len(m.allocs) for pts in self.points for m in pts)
+
+    @property
+    def total_frees(self) -> int:
+        return sum(len(m.frees) for pts in self.points for m in pts)
+
+    @property
+    def total_packages(self) -> int:
+        """Number of address packages sent (one per MAP per destination)."""
+        return sum(len(m.notifications) for pts in self.points for m in pts)
+
+    def map_positions(self, proc: int) -> list[int]:
+        return [m.position for m in self.points[proc]]
+
+
+def plan_maps(
+    schedule: Schedule,
+    capacity: int,
+    profile: Optional[MemoryProfile] = None,
+) -> MapPlan:
+    """Compute the MAP plan of ``schedule`` under ``capacity`` memory per
+    processor.
+
+    Raises :class:`~repro.errors.NonExecutableScheduleError` when the
+    schedule needs more than ``capacity`` on some processor (Definition
+    6; the ``inf`` entries of the paper's tables).
+    """
+    if profile is None:
+        profile = analyze_memory(schedule)
+    g = schedule.graph
+    placement = schedule.placement
+    points: list[list[MapPoint]] = []
+    for p, order in enumerate(schedule.orders):
+        pp = profile.procs[p]
+        if pp.min_mem > capacity:
+            raise NonExecutableScheduleError(p, pp.min_mem, capacity)
+        budget = capacity - pp.perm_bytes  # space available for volatiles
+        proc_points: list[MapPoint] = []
+        if not order:
+            points.append(proc_points)
+            continue
+        # First use of each volatile object, grouped by position.
+        first_at: dict[int, list[str]] = {}
+        for o, (f, _l) in pp.span.items():
+            first_at.setdefault(f, []).append(o)
+        size = {o: g.object(o).size for o in pp.span}
+        last = {o: pp.span[o][1] for o in pp.span}
+
+        allocated: set[str] = set()
+        used = 0
+        i = 0
+        n = len(order)
+        while i < n:
+            mp = MapPoint(proc=p, position=i)
+            # 1) free volatiles dead before position i.
+            for o in sorted(allocated):
+                if last[o] < i:
+                    allocated.discard(o)
+                    used -= size[o]
+                    mp.frees.append(o)
+            # 2) allocate forward along the chain until the next task no
+            #    longer fits.
+            j = i
+            while j < n:
+                need = [
+                    o
+                    for o in first_at.get(j, ())
+                    if o not in allocated
+                ]
+                extra = sum(size[o] for o in need)
+                if used + extra > budget:
+                    break
+                for o in need:
+                    allocated.add(o)
+                    used += size[o]
+                    mp.allocs.append(o)
+                    owner = placement[o]
+                    mp.notifications.setdefault(owner, []).append(o)
+                j += 1
+            if j == i:
+                # Even the next task does not fit — contradicts the
+                # MIN_MEM check above; defensive.
+                raise NonExecutableScheduleError(p, pp.mem_req[i], capacity)
+            mp._covers_through = j - 1
+            proc_points.append(mp)
+            i = j
+        points.append(proc_points)
+    return MapPlan(schedule=schedule, capacity=capacity, points=points, profile=profile)
+
+
+def unconstrained_plan(schedule: Schedule, profile: Optional[MemoryProfile] = None) -> MapPlan:
+    """The original-RAPID plan: one MAP per processor allocating all
+    volatile space up-front (section 3.1)."""
+    if profile is None:
+        profile = analyze_memory(schedule)
+    return plan_maps(schedule, capacity=max(profile.tot, 1), profile=profile)

@@ -1,0 +1,242 @@
+"""Static schedules and their predicted timing (Gantt charts).
+
+A *static schedule* (Definition 1) is a task -> processor assignment plus
+an execution order of the tasks on each processor.  Its predicted
+parallel time uses the macro-dataflow model of the paper's worked
+example (Figure 2): a task starts once its processor is free and all its
+input data has arrived; messages travel asynchronously and cost
+``latency + size * byte_time`` (one unit in the worked examples); the
+sending processor is not blocked.
+
+The Gantt computation treats the schedule as a DAG: dependence edges of
+the task graph plus the implicit sequence edges along each processor's
+order.  A schedule is *valid* exactly when that combined graph is
+acyclic; :func:`gantt` detects invalid interleavings.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..errors import SchedulingError
+from ..graph.taskgraph import TaskGraph
+from .placement import Placement
+
+
+@dataclass(frozen=True)
+class CommModel:
+    """Linear communication cost model for schedule prediction.
+
+    ``cost(bytes) = latency + bytes * byte_time`` for data-carrying
+    edges; synchronisation edges cost ``latency`` alone.  The defaults
+    reproduce the unit-cost model of the paper's Figure 2 ("each task and
+    each message cost one unit of time").
+    """
+
+    latency: float = 1.0
+    byte_time: float = 0.0
+
+    def cost(self, nbytes: int) -> float:
+        return self.latency + nbytes * self.byte_time
+
+
+#: The unit-cost model of the worked examples.
+UNIT_COMM = CommModel(latency=1.0, byte_time=0.0)
+
+
+@dataclass
+class Schedule:
+    """A static schedule: assignment + per-processor task orders.
+
+    Attributes
+    ----------
+    graph:
+        The scheduled task graph.
+    placement:
+        Object ownership (Definition 1).
+    assignment:
+        Task name -> processor.
+    orders:
+        ``orders[p]`` lists the tasks of processor ``p`` in execution
+        order.
+    """
+
+    graph: TaskGraph
+    placement: Placement
+    assignment: dict[str, int]
+    orders: list[list[str]]
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if len(self.orders) != self.placement.num_procs:
+            raise SchedulingError(
+                f"{len(self.orders)} order lists for {self.placement.num_procs} processors"
+            )
+
+    @property
+    def num_procs(self) -> int:
+        return self.placement.num_procs
+
+    def processor_of(self, task: str) -> int:
+        return self.assignment[task]
+
+    def position(self) -> dict[str, int]:
+        """Task -> index within its processor's order."""
+        pos: dict[str, int] = {}
+        for order in self.orders:
+            for i, t in enumerate(order):
+                pos[t] = i
+        return pos
+
+    def validate(self) -> None:
+        """Structural validation: orders partition the task set and agree
+        with the assignment.  (Precedence validity is checked by
+        :func:`gantt`.)"""
+        seen: set[str] = set()
+        for p, order in enumerate(self.orders):
+            for t in order:
+                if not self.graph.has_task(t):
+                    raise SchedulingError(f"order of P{p} contains unknown task {t!r}")
+                if t in seen:
+                    raise SchedulingError(f"task {t!r} appears on two processors")
+                if self.assignment.get(t) != p:
+                    raise SchedulingError(
+                        f"task {t!r} ordered on P{p} but assigned to "
+                        f"P{self.assignment.get(t)}"
+                    )
+                seen.add(t)
+        if len(seen) != self.graph.num_tasks:
+            missing = [t for t in self.graph.task_names if t not in seen]
+            raise SchedulingError(f"schedule misses tasks: {missing[:5]}...")
+
+
+@dataclass
+class GanttChart:
+    """Predicted start/finish times of a schedule."""
+
+    schedule: Schedule
+    start: dict[str, float]
+    finish: dict[str, float]
+
+    @property
+    def makespan(self) -> float:
+        """The predicted parallel time ``PT``."""
+        return max(self.finish.values(), default=0.0)
+
+    def busy_time(self, proc: int) -> float:
+        return sum(
+            self.schedule.graph.task(t).weight for t in self.schedule.orders[proc]
+        )
+
+    def utilization(self) -> float:
+        """Average fraction of time processors spend computing."""
+        ms = self.makespan
+        if ms <= 0:
+            return 1.0
+        p = self.schedule.num_procs
+        return sum(self.busy_time(q) for q in range(p)) / (p * ms)
+
+    def as_ascii(self, width: int = 72, unit: float | None = None) -> str:
+        """Render the chart like Figure 2 of the paper (one row per
+        processor, task names placed at their start slots)."""
+        ms = self.makespan
+        if ms <= 0:
+            return "(empty schedule)"
+        scale = (width / ms) if unit is None else (1.0 / unit)
+        rows = []
+        for p, order in enumerate(self.schedule.orders):
+            cells: list[str] = []
+            cursor = 0
+            for t in order:
+                col = int(self.start[t] * scale)
+                if col > cursor:
+                    cells.append(" " * (col - cursor))
+                    cursor = col
+                label = f"[{t}]"
+                cells.append(label)
+                cursor += len(label)
+            rows.append(f"P{p}: " + "".join(cells))
+        rows.append(f"PT = {ms:g}")
+        return "\n".join(rows)
+
+
+def gantt(schedule: Schedule, comm: CommModel = UNIT_COMM) -> GanttChart:
+    """Compute predicted start/finish times under the macro-dataflow
+    model.
+
+    Raises :class:`~repro.errors.SchedulingError` when the per-processor
+    orders are inconsistent with the dependence DAG (the combined graph
+    has a cycle).
+    """
+    g = schedule.graph
+    # Combined-graph Kahn evaluation: dependence edges + sequence edges.
+    indeg: dict[str, int] = {}
+    prev_on_proc: dict[str, str] = {}
+    pos: dict[str, int] = {}
+    for order in schedule.orders:
+        for i, t in enumerate(order):
+            pos[t] = i
+            if i > 0:
+                prev_on_proc[t] = order[i - 1]
+    for name in g.task_names:
+        d = g.in_degree(name)
+        prev = prev_on_proc.get(name)
+        # Avoid double counting when the previous task on the processor is
+        # also a DAG predecessor.
+        if prev is not None and not g.has_edge(prev, name):
+            d += 1
+        indeg[name] = d
+
+    start: dict[str, float] = {}
+    finish: dict[str, float] = {}
+    ready: deque[str] = deque(n for n in g.task_names if indeg[n] == 0)
+    done = 0
+    while ready:
+        u = ready.popleft()
+        t = g.task(u)
+        pu = schedule.assignment[u]
+        s = 0.0
+        prev = prev_on_proc.get(u)
+        if prev is not None:
+            s = finish[prev]
+        for pred in g.predecessors(u):
+            arr = finish[pred]
+            if schedule.assignment[pred] != pu:
+                objs = g.edge_objects(pred, u)
+                nbytes = sum(g.object(o).size for o in objs)
+                arr += comm.cost(nbytes) if objs else comm.latency
+            if arr > s:
+                s = arr
+        start[u] = s
+        finish[u] = s + t.weight
+        done += 1
+        # Release combined-graph successors.
+        for v in g.successors(u):
+            indeg[v] -= 1
+            if indeg[v] == 0:
+                ready.append(v)
+        order = schedule.orders[pu]
+        # Release the next task on this processor (sequence edge), unless
+        # it was already counted as a DAG successor above.
+        i = pos[u]
+        if i + 1 < len(order):
+            nxt = order[i + 1]
+            if not g.has_edge(u, nxt):
+                indeg[nxt] -= 1
+                if indeg[nxt] == 0:
+                    ready.append(nxt)
+    if done != g.num_tasks:
+        stuck = [n for n in g.task_names if n not in finish]
+        raise SchedulingError(
+            f"schedule order conflicts with dependencies; stuck tasks: {stuck[:5]}"
+        )
+    return GanttChart(schedule, start, finish)
+
+
+def serial_schedule(graph: TaskGraph, order: Sequence[str] | None = None) -> Schedule:
+    """A one-processor schedule (the sequential execution)."""
+    seq = list(order) if order is not None else graph.topological_order()
+    placement = Placement(1, {o.name: 0 for o in graph.objects()})
+    return Schedule(graph, placement, {t: 0 for t in seq}, [seq])

@@ -1,0 +1,171 @@
+"""Dependency-free SVG rendering of schedules and memory profiles.
+
+Produces standalone SVG documents (no matplotlib) for:
+
+* :func:`gantt_svg` — the classic Gantt chart of a schedule (Figure 2
+  style): one lane per processor, one rectangle per task, colored by
+  task family (the prefix before ``(`` or ``[``);
+* :func:`memory_svg` — the ``MEM_REQ`` step curves of a memory profile
+  (one polyline per processor) with optional capacity and ``MIN_MEM``
+  rules — the picture behind Definitions 4-6.
+
+Both return the SVG text and optionally write it to a file.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import Optional
+
+from .liveness import MemoryProfile
+from .schedule import GanttChart
+
+_PALETTE = (
+    "#4e79a7", "#f28e2b", "#e15759", "#76b7b2", "#59a14f",
+    "#edc948", "#b07aa1", "#ff9da7", "#9c755f", "#bab0ac",
+)
+
+
+def _family(task: str) -> str:
+    for sep in ("(", "[", "@"):
+        if sep in task:
+            return task.split(sep, 1)[0]
+    return task
+
+
+def _color(key: str) -> str:
+    return _PALETTE[hash(key) % len(_PALETTE)]
+
+
+def _document(body: list[str], width: int, height: int) -> str:
+    head = (
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}" '
+        f'font-family="monospace" font-size="11">'
+    )
+    return "\n".join([head, *body, "</svg>"])
+
+
+def gantt_svg(
+    chart: GanttChart,
+    path: Optional[str] = None,
+    width: int = 960,
+    lane_height: int = 28,
+    label_tasks: bool = False,
+) -> str:
+    """Render a Gantt chart as SVG; returns the document text."""
+    sched = chart.schedule
+    p = sched.num_procs
+    ms = chart.makespan or 1.0
+    margin_l, margin_t = 48, 24
+    plot_w = width - margin_l - 12
+    height = margin_t + p * lane_height + 30
+    scale = plot_w / ms
+
+    body: list[str] = [
+        f'<text x="{margin_l}" y="14">Gantt: PT = {ms:g} '
+        f'({sched.meta.get("heuristic", "?")})</text>'
+    ]
+    for q in range(p):
+        y = margin_t + q * lane_height
+        body.append(
+            f'<text x="4" y="{y + lane_height * 0.65:.0f}">P{q}</text>'
+        )
+        body.append(
+            f'<line x1="{margin_l}" y1="{y + lane_height - 2}" '
+            f'x2="{margin_l + plot_w}" y2="{y + lane_height - 2}" '
+            f'stroke="#ddd"/>'
+        )
+        for t in sched.orders[q]:
+            x = margin_l + chart.start[t] * scale
+            w = max((chart.finish[t] - chart.start[t]) * scale, 0.5)
+            title = html.escape(
+                f"{t}: [{chart.start[t]:g}, {chart.finish[t]:g}]"
+            )
+            body.append(
+                f'<rect x="{x:.2f}" y="{y + 2}" width="{w:.2f}" '
+                f'height="{lane_height - 6}" fill="{_color(_family(t))}" '
+                f'stroke="#333" stroke-width="0.4"><title>{title}</title></rect>'
+            )
+            if label_tasks and w > 40:
+                body.append(
+                    f'<text x="{x + 2:.2f}" y="{y + lane_height * 0.65:.0f}" '
+                    f'font-size="9">{html.escape(t)}</text>'
+                )
+    # time axis
+    axis_y = margin_t + p * lane_height + 14
+    body.append(
+        f'<line x1="{margin_l}" y1="{axis_y - 10}" '
+        f'x2="{margin_l + plot_w}" y2="{axis_y - 10}" stroke="#333"/>'
+    )
+    for i in range(5):
+        tx = ms * i / 4
+        x = margin_l + tx * scale
+        body.append(f'<text x="{x:.0f}" y="{axis_y}">{tx:g}</text>')
+    doc = _document(body, width, height)
+    if path:
+        with open(path, "w") as fh:
+            fh.write(doc)
+    return doc
+
+
+def memory_svg(
+    profile: MemoryProfile,
+    path: Optional[str] = None,
+    capacity: Optional[int] = None,
+    width: int = 960,
+    height: int = 320,
+) -> str:
+    """Render per-processor ``MEM_REQ`` step curves as SVG."""
+    margin_l, margin_t, margin_b = 64, 24, 28
+    plot_w = width - margin_l - 12
+    plot_h = height - margin_t - margin_b
+    top = max(
+        [capacity or 0, profile.min_mem]
+        + [max(pp.mem_req, default=0) for pp in profile.procs]
+    ) or 1
+    body: list[str] = [
+        f'<text x="{margin_l}" y="14">MEM_REQ per task position '
+        f'(MIN_MEM = {profile.min_mem}, TOT = {profile.tot})</text>'
+    ]
+
+    def y_of(v: float) -> float:
+        return margin_t + plot_h * (1 - v / top)
+
+    for q, pp in enumerate(profile.procs):
+        n = max(len(pp.mem_req), 1)
+        pts = []
+        for i, v in enumerate(pp.mem_req):
+            x0 = margin_l + plot_w * i / n
+            x1 = margin_l + plot_w * (i + 1) / n
+            pts.append(f"{x0:.1f},{y_of(v):.1f}")
+            pts.append(f"{x1:.1f},{y_of(v):.1f}")
+        color = _PALETTE[q % len(_PALETTE)]
+        if pts:
+            body.append(
+                f'<polyline points="{" ".join(pts)}" fill="none" '
+                f'stroke="{color}" stroke-width="1.4"/>'
+            )
+        body.append(
+            f'<text x="{margin_l + 6 + 48 * q}" y="{height - 8}" '
+            f'fill="{color}">P{q}</text>'
+        )
+    for label, value, dash in (
+        ("MIN_MEM", profile.min_mem, "4 3"),
+        ("capacity", capacity, "1 3"),
+    ):
+        if value:
+            y = y_of(value)
+            body.append(
+                f'<line x1="{margin_l}" y1="{y:.1f}" '
+                f'x2="{margin_l + plot_w}" y2="{y:.1f}" stroke="#e15759" '
+                f'stroke-dasharray="{dash}"/>'
+            )
+            body.append(
+                f'<text x="4" y="{y + 4:.1f}" fill="#e15759">{label}</text>'
+            )
+    doc = _document(body, width, height)
+    if path:
+        with open(path, "w") as fh:
+            fh.write(doc)
+    return doc

@@ -1,0 +1,209 @@
+"""Shared infrastructure for regenerating the paper's tables and figures.
+
+Conventions (section 5.1 of the paper):
+
+* ``TOT`` — total memory needed by a schedule without any recycling; the
+  memory constraints are percentages of TOT.  Cross-heuristic
+  comparisons (Tables 4-7) use the *RCP schedule's* TOT as the common
+  reference so that a "75%" cell is the same absolute capacity for both
+  algorithms (that is what makes the paper's ``*`` entries — one
+  algorithm executable, the other not — well defined).
+* ``PT increase`` — relative parallel-time increase versus the baseline:
+  the RCP schedule with 100% memory and **no** memory-management
+  overhead.
+* ``#MAPs`` — average number of memory allocation points per processor.
+* Non-executable configurations (``MIN_MEM`` above the capacity) are
+  reported as ``inf``, printed ``inf`` like the paper's tables.
+
+The :class:`ExperimentContext` caches schedules, profiles and simulation
+results so a sweep over memory fractions re-uses its scheduling work.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.liveness import MemoryProfile, analyze_memory
+from ..core.schedule import Schedule
+from ..machine.simulator import SimResult, Simulator
+from ..machine.spec import CRAY_T3D, MachineSpec
+from ..rapid.inspector import order_with
+from ..sparse.cholesky import build_cholesky
+from ..sparse.lu import build_lu
+from ..sparse.matrices import bcsstk15_like, bcsstk24_like, goodwin_like
+
+#: Memory fractions of the paper's overhead tables.
+FRACTIONS = (1.0, 0.75, 0.5, 0.4)
+#: Extended fractions of the heuristic-comparison tables.
+FRACTIONS_CMP = (0.75, 0.5, 0.4, 0.25)
+#: Processor counts of the paper's tables.
+PROCS = (2, 4, 8, 16, 32)
+
+INF = float("inf")
+
+
+@dataclass
+class CellMetrics:
+    """One (configuration, capacity) measurement."""
+
+    executable: bool
+    pt: float = INF
+    pt_increase: float = INF
+    avg_maps: float = INF
+    capacity: int = 0
+    min_mem: int = 0
+    tot: int = 0
+
+    @property
+    def pt_increase_pct(self) -> float:
+        return self.pt_increase * 100.0
+
+
+class ExperimentContext:
+    """Caches problems, schedules, profiles and baselines per workload."""
+
+    def __init__(self, spec: MachineSpec = CRAY_T3D):
+        self.spec = spec
+        self._problems: dict[str, object] = {}
+        self._schedules: dict[tuple, Schedule] = {}
+        self._profiles: dict[tuple, MemoryProfile] = {}
+        self._baseline_pt: dict[tuple, float] = {}
+        self._sims: dict[tuple, SimResult] = {}
+
+    # -- workloads -------------------------------------------------------
+
+    def problem(self, key: str):
+        """Named workload; built lazily.  Keys: ``chol15``, ``chol24``,
+        ``lu-goodwin`` and any registered via :meth:`register`."""
+        if key not in self._problems:
+            flop_time = 1.0 / self.spec.flop_rate
+            if key == "chol15":
+                self._problems[key] = build_cholesky(
+                    bcsstk15_like(scale=0.15), block_size=12, flop_time=flop_time,
+                    with_kernels=False,
+                )
+            elif key == "chol24":
+                self._problems[key] = build_cholesky(
+                    bcsstk24_like(scale=0.15), block_size=12, flop_time=flop_time,
+                    with_kernels=False,
+                )
+            elif key == "lu-goodwin":
+                self._problems[key] = build_lu(
+                    goodwin_like(scale=0.07), block_size=12, flop_time=flop_time,
+                    with_kernels=False,
+                )
+            else:
+                raise KeyError(f"unknown workload {key!r}")
+        return self._problems[key]
+
+    def register(self, key: str, problem) -> None:
+        """Register a custom problem (must expose ``graph``,
+        ``placement(p)`` and ``assignment(placement)``)."""
+        self._problems[key] = problem
+
+    # -- schedules ---------------------------------------------------------
+
+    def schedule(self, key: str, p: int, heuristic: str, capacity: Optional[int] = None) -> Schedule:
+        ck = (key, p, heuristic, capacity)
+        if ck not in self._schedules:
+            prob = self.problem(key)
+            placement = prob.placement(p)
+            assignment = prob.assignment(placement)
+            self._schedules[ck] = order_with(
+                heuristic,
+                prob.graph,
+                placement,
+                assignment,
+                comm=self.spec.comm_model(),
+                capacity=capacity,
+            )
+        return self._schedules[ck]
+
+    def profile(self, key: str, p: int, heuristic: str, capacity: Optional[int] = None) -> MemoryProfile:
+        ck = (key, p, heuristic, capacity)
+        if ck not in self._profiles:
+            self._profiles[ck] = analyze_memory(self.schedule(key, p, heuristic, capacity))
+        return self._profiles[ck]
+
+    def reference_tot(self, key: str, p: int) -> int:
+        """The RCP schedule's TOT — the 100% reference of section 5.1."""
+        return self.profile(key, p, "rcp").tot
+
+    def baseline_pt(self, key: str, p: int) -> float:
+        """Parallel time of the RCP schedule, 100% memory, no memory
+        management (the comparison base of Tables 2/3)."""
+        ck = (key, p)
+        if ck not in self._baseline_pt:
+            sched = self.schedule(key, p, "rcp")
+            res = Simulator(
+                sched,
+                spec=self.spec,
+                memory_managed=False,
+                profile=self.profile(key, p, "rcp"),
+            ).run()
+            self._baseline_pt[ck] = res.parallel_time
+        return self._baseline_pt[ck]
+
+    # -- measurements -------------------------------------------------------
+
+    def run_cell(
+        self,
+        key: str,
+        p: int,
+        heuristic: str,
+        fraction: float,
+        reference: str = "self",
+        merge_capacity: bool = False,
+    ) -> CellMetrics:
+        """Measure one table cell.
+
+        ``reference`` selects the TOT base for the capacity: ``"self"``
+        (the schedule's own TOT, Tables 2/3) or ``"rcp"`` (the RCP
+        schedule's TOT, Tables 4-7).  With ``merge_capacity=True`` the
+        heuristic receives the capacity (DTS slice merging).
+        """
+        tot = (
+            self.reference_tot(key, p)
+            if reference == "rcp"
+            else self.profile(key, p, heuristic).tot
+        )
+        capacity = int(math.floor(tot * fraction))
+        cap_arg = capacity if merge_capacity else None
+        sched = self.schedule(key, p, heuristic, cap_arg)
+        prof = self.profile(key, p, heuristic, cap_arg)
+        base = self.baseline_pt(key, p)
+        if prof.min_mem > capacity:
+            return CellMetrics(
+                executable=False, capacity=capacity, min_mem=prof.min_mem, tot=tot
+            )
+        sk = (key, p, heuristic, cap_arg, capacity)
+        if sk not in self._sims:
+            self._sims[sk] = Simulator(
+                sched, spec=self.spec, capacity=capacity, profile=prof
+            ).run()
+        res = self._sims[sk]
+        return CellMetrics(
+            executable=True,
+            pt=res.parallel_time,
+            pt_increase=(res.parallel_time - base) / base,
+            avg_maps=res.avg_maps,
+            capacity=capacity,
+            min_mem=prof.min_mem,
+            tot=tot,
+        )
+
+
+def compare_pt(a: CellMetrics, b: CellMetrics) -> float | str:
+    """The paper's 'A vs. B' entry: ``PT_B / PT_A - 1``.
+
+    ``"*"`` when B is executable but A is not; ``"-"`` when neither is.
+    """
+    if a.executable and b.executable:
+        return b.pt / a.pt - 1.0
+    if b.executable:
+        return "*"
+    if a.executable:
+        return "!"  # A runs, B does not (no such entries in the paper)
+    return "-"

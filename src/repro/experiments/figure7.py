@@ -1,0 +1,47 @@
+"""Figure 7 — memory scalability of the three scheduling heuristics.
+
+The memory reduction ratio is ``S1 / S_p^A`` where ``S_p^A`` is the
+per-processor space requirement (peak, with recycling — i.e. MIN_MEM) of
+the schedule produced by algorithm ``A`` on ``p`` processors.  The
+upper-most curve of the paper's plots is perfect scalability ``S1/p``
+over ``S1/p = p``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .common import ExperimentContext
+from .report import render_series
+
+HEURISTICS = ("rcp", "mpo", "dts")
+
+
+@dataclass
+class Figure7:
+    app: str
+    procs: tuple[int, ...]
+    #: series["perfect" | heuristic] -> ratio per p
+    series: dict[str, list[float]]
+
+    def render(self) -> str:
+        return render_series(
+            f"Figure 7 ({self.app}): memory scalability S1/S_p",
+            "p",
+            self.series,
+            list(self.procs),
+        )
+
+
+def figure7(
+    ctx: ExperimentContext, app: str = "cholesky", procs=(2, 4, 8, 16, 32)
+) -> Figure7:
+    key = "chol15" if app == "cholesky" else "lu-goodwin"
+    series: dict[str, list[float]] = {"perfect": [float(p) for p in procs]}
+    for h in HEURISTICS:
+        vals = []
+        for p in procs:
+            prof = ctx.profile(key, p, h)
+            vals.append(prof.memory_scalability(recycling=True))
+        series[h.upper()] = vals
+    return Figure7(app=app, procs=tuple(procs), series=series)

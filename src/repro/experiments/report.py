@@ -1,0 +1,59 @@
+"""ASCII rendering of experiment results in the paper's table style."""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+
+def fmt_pct(x: float | str, digits: int = 1) -> str:
+    """Percentage cell: ``12.3%``, ``inf`` for non-executable, or a
+    pass-through marker (``*``, ``-``)."""
+    if isinstance(x, str):
+        return x
+    if math.isinf(x):
+        return "inf"
+    return f"{100.0 * x:.{digits}f}%"
+
+
+def fmt_maps(x: float) -> str:
+    if math.isinf(x):
+        return "inf"
+    return f"{x:.2f}"
+
+
+def fmt_ratio(x: float, digits: int = 2) -> str:
+    if math.isinf(x):
+        return "inf"
+    return f"{x:.{digits}f}"
+
+
+def render_table(
+    headers: Sequence[str], rows: Sequence[Sequence[str]], title: str = ""
+) -> str:
+    """Fixed-width table with a header rule."""
+    cols = len(headers)
+    widths = [len(h) for h in headers]
+    for r in rows:
+        for i in range(cols):
+            widths[i] = max(widths[i], len(str(r[i])))
+    def line(cells):
+        return " | ".join(str(c).rjust(widths[i]) for i, c in enumerate(cells))
+
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(headers))
+    out.append("-+-".join("-" * w for w in widths))
+    for r in rows:
+        out.append(line(r))
+    return "\n".join(out)
+
+
+def render_series(title: str, xlabel: str, series: dict[str, list[float]], xs: list) -> str:
+    """Figure-style output: one column per series (for Figure 7)."""
+    headers = [xlabel] + list(series)
+    rows = []
+    for i, x in enumerate(xs):
+        rows.append([str(x)] + [fmt_ratio(series[k][i]) for k in series])
+    return render_table(headers, rows, title=title)

@@ -1,0 +1,123 @@
+"""Generic parameter sweeps with CSV export.
+
+The table modules regenerate the paper's exact layouts; downstream users
+usually want the raw grid instead.  :func:`full_sweep` runs every
+(workload × processors × heuristic × memory fraction) combination
+through the cached :class:`~repro.experiments.common.ExperimentContext`
+and returns flat records; :func:`to_csv` serialises them (stdlib only).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import math
+from dataclasses import asdict, dataclass
+from typing import Iterable, Optional, Sequence
+
+from .common import ExperimentContext
+
+FIELDS = (
+    "workload",
+    "procs",
+    "heuristic",
+    "fraction",
+    "executable",
+    "capacity",
+    "min_mem",
+    "tot",
+    "parallel_time",
+    "pt_increase",
+    "avg_maps",
+)
+
+
+@dataclass(frozen=True)
+class SweepRecord:
+    workload: str
+    procs: int
+    heuristic: str
+    fraction: float
+    executable: bool
+    capacity: int
+    min_mem: int
+    tot: int
+    parallel_time: float
+    pt_increase: float
+    avg_maps: float
+
+
+def full_sweep(
+    ctx: ExperimentContext,
+    workloads: Sequence[str] = ("chol15", "lu-goodwin"),
+    procs: Sequence[int] = (2, 4, 8, 16, 32),
+    heuristics: Sequence[str] = ("rcp", "mpo", "dts"),
+    fractions: Sequence[float] = (1.0, 0.75, 0.5, 0.4, 0.25),
+    reference: str = "rcp",
+) -> list[SweepRecord]:
+    """Run the full grid; non-executable cells get ``inf`` metrics."""
+    out: list[SweepRecord] = []
+    for key in workloads:
+        for p in procs:
+            for h in heuristics:
+                for f in fractions:
+                    cell = ctx.run_cell(key, p, h, f, reference=reference)
+                    out.append(
+                        SweepRecord(
+                            workload=key,
+                            procs=p,
+                            heuristic=h,
+                            fraction=f,
+                            executable=cell.executable,
+                            capacity=cell.capacity,
+                            min_mem=cell.min_mem,
+                            tot=cell.tot,
+                            parallel_time=cell.pt,
+                            pt_increase=cell.pt_increase,
+                            avg_maps=cell.avg_maps,
+                        )
+                    )
+    return out
+
+
+def to_csv(records: Iterable[SweepRecord], path: Optional[str] = None) -> str:
+    """Serialise sweep records as CSV; optionally write to ``path``."""
+    buf = io.StringIO()
+    writer = csv.DictWriter(buf, fieldnames=FIELDS)
+    writer.writeheader()
+    for r in records:
+        row = asdict(r)
+        for k, v in row.items():
+            if isinstance(v, float) and math.isinf(v):
+                row[k] = "inf"
+        writer.writerow(row)
+    text = buf.getvalue()
+    if path:
+        with open(path, "w", newline="") as fh:
+            fh.write(text)
+    return text
+
+
+def from_csv(text: str) -> list[SweepRecord]:
+    """Parse CSV produced by :func:`to_csv` (round-trip support)."""
+    out: list[SweepRecord] = []
+    for row in csv.DictReader(io.StringIO(text)):
+        def f(x: str) -> float:
+            return float("inf") if x == "inf" else float(x)
+
+        out.append(
+            SweepRecord(
+                workload=row["workload"],
+                procs=int(row["procs"]),
+                heuristic=row["heuristic"],
+                fraction=float(row["fraction"]),
+                executable=row["executable"] == "True",
+                capacity=int(row["capacity"]),
+                min_mem=int(row["min_mem"]),
+                tot=int(row["tot"]),
+                parallel_time=f(row["parallel_time"]),
+                pt_increase=f(row["pt_increase"]),
+                avg_maps=f(row["avg_maps"]),
+            )
+        )
+    return out

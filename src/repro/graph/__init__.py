@@ -1,0 +1,35 @@
+"""Task/data parallelism substrate: objects, tasks, DAGs, builders.
+
+See :class:`~repro.graph.taskgraph.TaskGraph` for the central data
+structure and :class:`~repro.graph.builder.GraphBuilder` for the
+inspector-style trace interface.
+"""
+
+from .objects import Access, AccessMode, DataObject
+from .tasks import Kernel, Task
+from .taskgraph import TaskGraph
+from .builder import GraphBuilder, is_source_task, source_task_name
+from .repeat import base_name, iter_name, repeat_graph, repeat_schedule
+from .renaming import rename_versions, renaming_memory_overhead
+from . import analysis, classic, generators
+
+__all__ = [
+    "Access",
+    "AccessMode",
+    "DataObject",
+    "GraphBuilder",
+    "Kernel",
+    "Task",
+    "TaskGraph",
+    "analysis",
+    "base_name",
+    "classic",
+    "generators",
+    "is_source_task",
+    "iter_name",
+    "rename_versions",
+    "renaming_memory_overhead",
+    "repeat_graph",
+    "repeat_schedule",
+    "source_task_name",
+]

@@ -1,0 +1,198 @@
+"""Structural analyses of task graphs.
+
+Provides the classic list-scheduling quantities used by the ordering
+heuristics of the paper:
+
+* **b-level** (bottom level): length of the longest path from a task to
+  an exit task, *including* the task's own weight and, optionally,
+  communication delays on the edges.  This is the "critical path
+  priority" used by RCP ordering and as the tie-break of MPO
+  (section 4.1: "the length of the longest path from this task to an
+  exit task").
+* **t-level** (top level): length of the longest path from an entry task
+  to the task, excluding the task's weight — used by DSC clustering.
+
+Edge communication costs are supplied by a callable so the same routines
+serve the pre-mapping stage (all cross-task edges cost their message
+time, DSC) and the post-mapping stage (only cross-processor edges cost,
+RCP/MPO ordering — see the worked example of section 4.1 where the path
+``T[7,8], T[8], T[8,9]`` has length 4 because one communication delay is
+included).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Mapping
+
+from .taskgraph import TaskGraph
+
+#: ``edge_cost(u, v, objects) -> float`` — communication delay charged on
+#: the dependence edge ``u -> v`` carrying ``objects``.
+EdgeCost = Callable[[str, str, frozenset[str]], float]
+
+
+def zero_edge_cost(u: str, v: str, objs: frozenset[str]) -> float:
+    """Edge-cost function for a shared-address-space / same-processor view."""
+    return 0.0
+
+
+def uniform_edge_cost(cost: float) -> EdgeCost:
+    """Every data-carrying edge costs ``cost``; sync edges are free."""
+
+    def f(u: str, v: str, objs: frozenset[str]) -> float:
+        return cost if objs else 0.0
+
+    return f
+
+
+def size_edge_cost(graph: TaskGraph, latency: float, byte_time: float) -> EdgeCost:
+    """Linear cost model ``latency + byte_time * sum(sizeof(obj))``."""
+
+    def f(u: str, v: str, objs: frozenset[str]) -> float:
+        if not objs:
+            return 0.0
+        return latency + byte_time * sum(graph.object(o).size for o in objs)
+
+    return f
+
+
+def mapped_edge_cost(assignment: Mapping[str, int], base: EdgeCost) -> EdgeCost:
+    """Charge ``base`` only on cross-processor edges of ``assignment``."""
+
+    def f(u: str, v: str, objs: frozenset[str]) -> float:
+        if assignment[u] == assignment[v]:
+            return 0.0
+        return base(u, v, objs)
+
+    return f
+
+
+# ----------------------------------------------------------------------
+# levels
+# ----------------------------------------------------------------------
+
+
+def b_levels(graph: TaskGraph, edge_cost: EdgeCost = zero_edge_cost) -> dict[str, float]:
+    """Bottom level of every task (critical-path priority).
+
+    ``blevel(t) = w(t) + max over successors s of (edge_cost + blevel(s))``.
+    """
+    bl: dict[str, float] = {}
+    for name in reversed(graph.topological_order()):
+        t = graph.task(name)
+        best = 0.0
+        for s in graph.successors(name):
+            c = edge_cost(name, s, graph.edge_objects(name, s))
+            cand = c + bl[s]
+            if cand > best:
+                best = cand
+        bl[name] = t.weight + best
+    return bl
+
+
+def t_levels(graph: TaskGraph, edge_cost: EdgeCost = zero_edge_cost) -> dict[str, float]:
+    """Top level of every task (earliest possible start time).
+
+    ``tlevel(t) = max over predecessors p of (tlevel(p) + w(p) + edge_cost)``.
+    """
+    tl: dict[str, float] = {}
+    for name in graph.topological_order():
+        best = 0.0
+        for p in graph.predecessors(name):
+            c = edge_cost(p, name, graph.edge_objects(p, name))
+            cand = tl[p] + graph.task(p).weight + c
+            if cand > best:
+                best = cand
+        tl[name] = best
+    return tl
+
+
+def critical_path_length(graph: TaskGraph, edge_cost: EdgeCost = zero_edge_cost) -> float:
+    """Length of the longest weighted path through the DAG."""
+    bl = b_levels(graph, edge_cost)
+    return max(bl.values(), default=0.0)
+
+
+def depth(graph: TaskGraph) -> int:
+    """Number of tasks on the longest (unweighted) path — the DAG depth
+    ``D`` of the Blelloch et al. space bound discussed in section 1."""
+    d: dict[str, int] = {}
+    best = 0
+    for name in graph.topological_order():
+        d[name] = 1 + max((d[p] for p in graph.predecessors(name)), default=0)
+        if d[name] > best:
+            best = d[name]
+    return best
+
+
+def level_sets(graph: TaskGraph) -> list[list[str]]:
+    """Tasks grouped by unweighted topological level (entry tasks first)."""
+    lvl: dict[str, int] = {}
+    for name in graph.topological_order():
+        lvl[name] = 1 + max((lvl[p] for p in graph.predecessors(name)), default=-1)
+    out: list[list[str]] = [[] for _ in range(max(lvl.values(), default=-1) + 1)]
+    for name, l in lvl.items():
+        out[l].append(name)
+    return out
+
+
+# ----------------------------------------------------------------------
+# reachability / validation helpers
+# ----------------------------------------------------------------------
+
+
+def reachable_from(graph: TaskGraph, sources: Iterable[str]) -> set[str]:
+    """All tasks reachable from ``sources`` (inclusive)."""
+    seen: set[str] = set()
+    stack = list(sources)
+    while stack:
+        n = stack.pop()
+        if n in seen:
+            continue
+        seen.add(n)
+        stack.extend(s for s in graph.successors(n) if s not in seen)
+    return seen
+
+
+def has_path(graph: TaskGraph, u: str, v: str) -> bool:
+    """True when a directed path ``u`` leads to ``v``."""
+    if u == v:
+        return True
+    seen: set[str] = {u}
+    stack = [u]
+    while stack:
+        n = stack.pop()
+        for s in graph.successors(n):
+            if s == v:
+                return True
+            if s not in seen:
+                seen.add(s)
+                stack.append(s)
+    return False
+
+
+def is_topological(graph: TaskGraph, order: Iterable[str]) -> bool:
+    """Check that ``order`` lists every task exactly once, respecting
+    every dependence edge."""
+    pos = {n: i for i, n in enumerate(order)}
+    if len(pos) != graph.num_tasks or any(n not in pos for n in graph.task_names):
+        return False
+    return all(pos[u] < pos[v] for u, v, _ in graph.edges())
+
+
+def graph_stats(graph: TaskGraph) -> dict[str, float]:
+    """Summary statistics used by reports and benchmark logs."""
+    v = graph.num_tasks
+    e = graph.num_edges
+    work = graph.total_work()
+    cp = critical_path_length(graph)
+    return {
+        "tasks": v,
+        "edges": e,
+        "objects": graph.num_objects,
+        "total_work": work,
+        "critical_path": cp,
+        "depth": depth(graph),
+        "parallelism": (work / cp) if cp > 0 else float(v > 0),
+        "S1": graph.total_data(),
+    }

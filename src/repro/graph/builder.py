@@ -1,0 +1,226 @@
+"""Inspector-style construction of transformed task graphs.
+
+The RAPID pipeline (Figure 1 of the paper) starts from *task and data
+access patterns*: the program is described as a sequential trace of tasks
+each declaring which objects it reads and writes.  From this trace the
+inspector derives a data dependence graph with true, anti and output
+dependencies, then *transforms* it into a graph containing true
+dependencies only (section 2):
+
+* an anti/output dependence is *redundant* when it is subsumed by a true
+  dependence edge (e.g. read-modify-write chains: the next writer reads
+  the value produced by the previous one);
+* remaining anti/output dependencies are eliminated "by program
+  transformation" — we model this by inserting a pure synchronisation
+  edge (no data flows), which preserves ordering at zero communication
+  volume, keeping the graph *dependence-complete* (needed by Theorem 1's
+  data-consistency argument);
+* *commuting tasks* (RAPID's extension for commutative operations such
+  as the update accumulations of sparse factorizations) are tagged with
+  a group key: no edges are created among members of one group, so the
+  scheduler is free to serialize them in any order.
+
+The builder can also *materialize inputs*: an object read before any
+write gets an implicit zero-weight source task on its owner, so that the
+executor has a producer to send the initial content from.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import DependenceError, GraphError
+from .objects import DataObject
+from .tasks import Kernel, Task
+from .taskgraph import TaskGraph
+
+#: Prefix of implicit source-task names created by ``materialize_inputs``.
+SOURCE_PREFIX = "_src:"
+
+
+def source_task_name(obj: str) -> str:
+    """Name of the implicit source task materialising input object ``obj``."""
+    return SOURCE_PREFIX + obj
+
+
+def is_source_task(name: str) -> bool:
+    """True for implicit source tasks created by the builder."""
+    return name.startswith(SOURCE_PREFIX)
+
+
+class GraphBuilder:
+    """Builds a transformed (true-dependence-only) :class:`TaskGraph`
+    from a sequential access trace.
+
+    Parameters
+    ----------
+    materialize_inputs:
+        When an object is read before being written, insert an implicit
+        zero-weight source task producing it (default ``True``).
+    dependence_mode:
+        What to do with anti/output dependencies not subsumed by a direct
+        true edge: ``"transform"`` inserts a synchronisation edge (the
+        default, mirrors RAPID's program transformation), ``"check"``
+        raises :class:`~repro.errors.DependenceError`, ``"ignore"`` drops
+        them (only safe for graphs known to be dependence-complete).
+    source_weight:
+        Weight given to implicit source tasks.
+    """
+
+    def __init__(
+        self,
+        materialize_inputs: bool = True,
+        dependence_mode: str = "transform",
+        source_weight: float = 0.0,
+    ) -> None:
+        if dependence_mode not in ("transform", "check", "ignore"):
+            raise ValueError(f"bad dependence_mode {dependence_mode!r}")
+        self._graph = TaskGraph()
+        self._materialize = materialize_inputs
+        self._mode = dependence_mode
+        self._source_weight = source_weight
+        # Per-object trace state.
+        self._last_writers: dict[str, list[str]] = {}  # current version producers
+        self._readers_since: dict[str, list[str]] = {}  # readers of current version
+        self._active_group: dict[str, str] = {}  # obj -> commute key of open group
+        self._group_base: dict[str, list[str]] = {}  # obj -> writers before group
+        self._closed_groups: dict[str, set[str]] = {}  # obj -> keys already closed
+        self._built = False
+
+    # ------------------------------------------------------------------
+
+    @property
+    def graph(self) -> TaskGraph:
+        """The graph under construction (mutable until :meth:`build`)."""
+        return self._graph
+
+    def add_object(self, name: str | DataObject, size: int = 1) -> DataObject:
+        """Register a data object."""
+        return self._graph.add_object(name, size)
+
+    def add_task(
+        self,
+        name: str,
+        reads: tuple[str, ...] | list[str] = (),
+        writes: tuple[str, ...] | list[str] = (),
+        weight: float = 1.0,
+        commute: Optional[str] = None,
+        kernel: Optional[Kernel] = None,
+    ) -> Task:
+        """Append a task to the trace and derive its dependence edges."""
+        if self._built:
+            raise GraphError("builder already finalised")
+        task = Task(
+            name=name,
+            reads=tuple(reads),
+            writes=tuple(writes),
+            weight=weight,
+            commute=commute,
+            kernel=kernel,
+        )
+        g = self._graph
+        g.add_task(task)
+        joining: set[str] = set()
+        if commute is not None:
+            for m in task.writes:
+                if self._active_group.get(m) == commute:
+                    joining.add(m)
+                elif commute in self._closed_groups.get(m, ()):
+                    raise GraphError(
+                        f"commuting group {commute!r} on object {m!r} is not "
+                        f"contiguous in the trace (reopened by task {name!r})"
+                    )
+
+        # --- true dependencies: last writer(s) -> this reader -------------
+        for m in task.reads:
+            if m in joining:
+                # A commuting member accumulates onto the value that
+                # existed before the group opened; fellow members are not
+                # predecessors (that is the point of commuting).
+                writers = self._group_base.get(m, [])
+            else:
+                writers = self._last_writers.get(m)
+                if writers is None:
+                    if self._materialize:
+                        writers = [self._make_source(m)]
+                    else:
+                        writers = []
+                        self._last_writers[m] = writers
+            for w in writers:
+                if w != name:
+                    g.add_edge(w, name, m)
+            self._readers_since.setdefault(m, []).append(name)
+            # A read by a non-member closes any open commuting group on m:
+            # the reader observes the fully accumulated value, so every
+            # member became one of its true predecessors above.
+            key = self._active_group.get(m)
+            if key is not None and key != commute:
+                self._close_group(m)
+
+        # --- writes: version bookkeeping + anti/output handling ----------
+        for m in task.writes:
+            writers = self._last_writers.get(m, [])
+            readers = self._readers_since.get(m, [])
+            if m in joining:
+                # Join the open commuting group: no anti/output handling
+                # against fellow members, no new version.
+                self._last_writers.setdefault(m, []).append(name)
+                continue
+            # Close any open group on m (a non-member writes it).
+            self._close_group(m)
+            # Output dependence from previous writers, anti dependence from
+            # previous readers: subsumed if a direct true edge exists.
+            for w in writers:
+                if w != name:
+                    self._enforce(w, name, "output", m)
+            for r in readers:
+                if r != name:
+                    self._enforce(r, name, "anti", m)
+            # New version.
+            if commute is not None:
+                # Opening a commuting group: remember the pre-group
+                # producers so later members depend on them too.
+                self._group_base[m] = list(writers)
+                self._active_group[m] = commute
+            self._last_writers[m] = [name]
+            self._readers_since[m] = [name] if m in task.reads else []
+        return task
+
+    # ------------------------------------------------------------------
+
+    def _close_group(self, obj: str) -> None:
+        key = self._active_group.pop(obj, None)
+        if key is not None:
+            self._closed_groups.setdefault(obj, set()).add(key)
+            self._group_base.pop(obj, None)
+
+    def _enforce(self, u: str, v: str, kind: str, obj: str) -> None:
+        """Handle a non-true dependence ``u -> v`` of the given kind."""
+        g = self._graph
+        if g.has_edge(u, v):
+            return  # subsumed by an existing true edge
+        if self._mode == "ignore":
+            return
+        if self._mode == "check":
+            raise DependenceError(
+                f"{kind} dependence {u!r} -> {v!r} on object {obj!r} is not "
+                f"subsumed by a true dependence"
+            )
+        # transform: enforce ordering with a data-less sync edge.
+        g.add_edge(u, v, None)
+
+    def _make_source(self, obj: str) -> str:
+        name = source_task_name(obj)
+        self._graph.add_task(
+            Task(name=name, reads=(), writes=(obj,), weight=self._source_weight)
+        )
+        self._last_writers[obj] = [name]
+        self._readers_since[obj] = []
+        return name
+
+    # ------------------------------------------------------------------
+
+    def build(self) -> TaskGraph:
+        """Finalise and freeze the graph."""
+        self._built = True
+        return self._graph.freeze()

@@ -1,0 +1,125 @@
+"""Classic task-graph families from the scheduling literature.
+
+The DSC/RCP line of work (Yang & Gerasoulis [20, 21], Gerasoulis et al.
+[8] — "Scheduling of Structured and Unstructured Computation") evaluates
+on a standard set of structured DAGs.  These generators provide them as
+additional stress workloads for the schedulers and the memory model:
+
+* :func:`dense_lu_graph` — column-oriented dense LU elimination DAG
+  (``n(n+1)/2``-ish tasks, the classic triangular wavefront);
+* :func:`fft_graph` — the butterfly DAG of an ``2^m``-point FFT;
+* :func:`stencil_1d` — a 1-D Jacobi stencil over ``T`` timesteps
+  (in-place variant: tight WAR coupling; out-of-place: clean wavefront);
+* :func:`cholesky_column_graph` — column-level dense Cholesky DAG.
+
+All are built through :class:`~repro.graph.builder.GraphBuilder`, so the
+derived graphs carry the same transformed-dependence semantics as the
+applications.
+"""
+
+from __future__ import annotations
+
+from .builder import GraphBuilder
+from .taskgraph import TaskGraph
+
+
+def dense_lu_graph(n: int, weight: float = 1.0, size: int = 8) -> TaskGraph:
+    """Column-oriented dense LU elimination DAG on ``n`` columns.
+
+    ``F(k)`` factors column ``k``; ``U(k, j)`` updates column ``j > k``
+    with it — the dense special case of the paper's 1-D sparse LU (every
+    update exists).
+    """
+    b = GraphBuilder(materialize_inputs=True)
+    for j in range(n):
+        b.add_object(f"c{j}", size * (n - j))
+    for k in range(n):
+        b.add_task(f"F({k})", reads=(f"c{k}",), writes=(f"c{k}",), weight=weight)
+        for j in range(k + 1, n):
+            b.add_task(
+                f"U({k},{j})",
+                reads=(f"c{k}", f"c{j}"),
+                writes=(f"c{j}",),
+                weight=weight,
+            )
+    return b.build()
+
+
+def cholesky_column_graph(n: int, weight: float = 1.0, size: int = 8) -> TaskGraph:
+    """Column-level dense Cholesky DAG: ``CDIV(k)`` scales column ``k``,
+    ``CMOD(j, k)`` updates column ``j`` with it (updates commute)."""
+    b = GraphBuilder(materialize_inputs=True)
+    for j in range(n):
+        b.add_object(f"c{j}", size * (n - j))
+    for k in range(n):
+        b.add_task(f"CDIV({k})", reads=(f"c{k}",), writes=(f"c{k}",), weight=weight)
+        for j in range(k + 1, n):
+            b.add_task(
+                f"CMOD({j},{k})",
+                reads=(f"c{k}", f"c{j}"),
+                writes=(f"c{j}",),
+                weight=weight,
+                commute=f"cmod:{j}",
+            )
+    return b.build()
+
+
+def fft_graph(m: int, weight: float = 1.0, size: int = 8) -> TaskGraph:
+    """Butterfly DAG of a ``2^m``-point FFT: ``m`` stages of ``2^(m-1)``
+    butterflies; each butterfly reads two values of the previous stage
+    and writes two of the next."""
+    if m < 1:
+        raise ValueError("m must be >= 1")
+    n = 1 << m
+    b = GraphBuilder(materialize_inputs=True)
+    for s in range(m + 1):
+        for i in range(n):
+            b.add_object(f"x{s}_{i}", size)
+    for s in range(m):
+        span = 1 << s
+        done = set()
+        for i in range(n):
+            j = i ^ span
+            lo, hi = min(i, j), max(i, j)
+            if (lo, hi) in done:
+                continue
+            done.add((lo, hi))
+            b.add_task(
+                f"B({s},{lo})",
+                reads=(f"x{s}_{lo}", f"x{s}_{hi}"),
+                writes=(f"x{s+1}_{lo}", f"x{s+1}_{hi}"),
+                weight=weight,
+            )
+    return b.build()
+
+
+def stencil_1d(
+    cells: int,
+    steps: int,
+    weight: float = 1.0,
+    size: int = 8,
+    in_place: bool = False,
+) -> TaskGraph:
+    """1-D three-point Jacobi stencil over ``steps`` timesteps.
+
+    ``in_place=False`` double-buffers (even/odd arrays, a clean
+    wavefront); ``in_place=True`` writes back into the same cells,
+    exercising the WAR-transform machinery heavily.
+    """
+    b = GraphBuilder(materialize_inputs=True)
+    buffers = 1 if in_place else 2
+    for buf in range(buffers):
+        for i in range(cells):
+            b.add_object(f"u{buf}_{i}", size)
+    for t in range(steps):
+        src = 0 if in_place else t % 2
+        dst = 0 if in_place else (t + 1) % 2
+        for i in range(cells):
+            reads = [f"u{src}_{j}" for j in (i - 1, i, i + 1) if 0 <= j < cells]
+            b.add_task(
+                f"S({t},{i})",
+                reads=tuple(dict.fromkeys(reads + ([f"u{dst}_{i}"] if in_place else []))),
+                writes=(f"u{dst}_{i}",),
+                weight=weight,
+            )
+    return b.build()

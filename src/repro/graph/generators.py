@@ -1,0 +1,199 @@
+"""Synthetic task-graph families for tests and micro-benchmarks.
+
+These generators produce graphs through the same
+:class:`~repro.graph.builder.GraphBuilder` trace interface as the sparse
+substrates, so they exercise identical code paths (dependence
+derivation, ownership, liveness).  All generators are deterministic
+given a seed.
+
+Families:
+
+* :func:`chain` — a linear pipeline (worst-case depth);
+* :func:`fork_join` — fan-out / fan-in stages;
+* :func:`out_tree` / :func:`in_tree` — (inverted) binary trees;
+* :func:`layered_random` — random layered DAGs with tunable width,
+  density and weight/size variation (the "mixed granularity" setting of
+  the paper);
+* :func:`reduction_tree` — commutative reduction using commuting groups;
+* :func:`random_trace` — a fully random sequential access trace, useful
+  for property tests of the builder itself.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .builder import GraphBuilder
+from .taskgraph import TaskGraph
+
+
+def chain(n: int, weight: float = 1.0, size: int = 1) -> TaskGraph:
+    """A linear chain ``T0 -> T1 -> ... -> T(n-1)``; task ``i`` reads the
+    object written by task ``i-1`` and writes its own object."""
+    b = GraphBuilder(materialize_inputs=False)
+    for i in range(n):
+        b.add_object(f"d{i}", size)
+    for i in range(n):
+        reads = (f"d{i-1}",) if i > 0 else ()
+        b.add_task(f"T{i}", reads=reads, writes=(f"d{i}",), weight=weight)
+    return b.build()
+
+
+def fork_join(stages: int, width: int, weight: float = 1.0, size: int = 1) -> TaskGraph:
+    """``stages`` repetitions of: one root task, ``width`` parallel tasks
+    reading the root's object, one join task reading all of them."""
+    b = GraphBuilder(materialize_inputs=False)
+    prev: str | None = None
+    for s in range(stages):
+        root_obj = f"r{s}"
+        b.add_object(root_obj, size)
+        reads = (prev,) if prev else ()
+        b.add_task(f"fork{s}", reads=reads, writes=(root_obj,), weight=weight)
+        mids = []
+        for i in range(width):
+            o = f"m{s}_{i}"
+            b.add_object(o, size)
+            b.add_task(f"mid{s}_{i}", reads=(root_obj,), writes=(o,), weight=weight)
+            mids.append(o)
+        join_obj = f"j{s}"
+        b.add_object(join_obj, size)
+        b.add_task(f"join{s}", reads=tuple(mids), writes=(join_obj,), weight=weight)
+        prev = join_obj
+    return b.build()
+
+
+def out_tree(levels: int, weight: float = 1.0, size: int = 1) -> TaskGraph:
+    """A binary out-tree: each task produces an object read by two
+    children; ``2**levels - 1`` tasks."""
+    b = GraphBuilder(materialize_inputs=False)
+    total = 2**levels - 1
+    for i in range(total):
+        b.add_object(f"d{i}", size)
+    for i in range(total):
+        reads = (f"d{(i - 1) // 2}",) if i > 0 else ()
+        b.add_task(f"T{i}", reads=reads, writes=(f"d{i}",), weight=weight)
+    return b.build()
+
+
+def in_tree(levels: int, weight: float = 1.0, size: int = 1) -> TaskGraph:
+    """A binary in-tree (reduction shape): leaves first, root last."""
+    b = GraphBuilder(materialize_inputs=False)
+    total = 2**levels - 1
+    for i in range(total):
+        b.add_object(f"d{i}", size)
+    # Node i of the in-tree consumes children 2i+1 and 2i+2 (heap layout);
+    # emit in reverse heap order so producers precede consumers.
+    for i in reversed(range(total)):
+        kids = [j for j in (2 * i + 1, 2 * i + 2) if j < total]
+        b.add_task(
+            f"T{i}",
+            reads=tuple(f"d{j}" for j in kids),
+            writes=(f"d{i}",),
+            weight=weight,
+        )
+    return b.build()
+
+
+def reduction_tree(leaves: int, weight: float = 1.0, size: int = 1) -> TaskGraph:
+    """A commutative reduction: ``leaves`` producer tasks each write a
+    leaf object, then ``leaves`` commuting update tasks accumulate the
+    leaves into a single accumulator object.  Exercises commuting
+    groups."""
+    b = GraphBuilder(materialize_inputs=False)
+    b.add_object("acc", size)
+    b.add_task("init", writes=("acc",), weight=weight)
+    for i in range(leaves):
+        b.add_object(f"leaf{i}", size)
+        b.add_task(f"prod{i}", writes=(f"leaf{i}",), weight=weight)
+    for i in range(leaves):
+        b.add_task(
+            f"add{i}",
+            reads=(f"leaf{i}", "acc"),
+            writes=("acc",),
+            weight=weight,
+            commute="acc-sum",
+        )
+    b.add_object("out", size)
+    b.add_task("final", reads=("acc",), writes=("out",), weight=weight)
+    return b.build()
+
+
+def layered_random(
+    layers: int,
+    width: int,
+    density: float = 0.4,
+    seed: int = 0,
+    min_weight: float = 0.5,
+    max_weight: float = 4.0,
+    min_size: int = 1,
+    max_size: int = 8,
+) -> TaskGraph:
+    """Random layered DAG with mixed granularity.
+
+    Each of ``layers`` layers holds ``width`` tasks; a task in layer
+    ``l > 0`` reads a random non-empty subset of layer ``l-1``'s objects
+    (each with probability ``density``) and writes its own object.
+    Weights and sizes are drawn uniformly from the given ranges.
+    """
+    if not (0.0 < density <= 1.0):
+        raise ValueError("density must be in (0, 1]")
+    rng = np.random.default_rng(seed)
+    b = GraphBuilder(materialize_inputs=False)
+    names: list[list[str]] = []
+    for l in range(layers):
+        row = []
+        for i in range(width):
+            o = f"d{l}_{i}"
+            b.add_object(o, int(rng.integers(min_size, max_size + 1)))
+            row.append(o)
+        names.append(row)
+    for l in range(layers):
+        for i in range(width):
+            reads: tuple[str, ...] = ()
+            if l > 0:
+                mask = rng.random(width) < density
+                if not mask.any():
+                    mask[int(rng.integers(width))] = True
+                reads = tuple(names[l - 1][j] for j in range(width) if mask[j])
+            w = float(rng.uniform(min_weight, max_weight))
+            b.add_task(f"T{l}_{i}", reads=reads, writes=(names[l][i],), weight=w)
+    return b.build()
+
+
+def random_trace(
+    num_tasks: int,
+    num_objects: int,
+    seed: int = 0,
+    max_reads: int = 3,
+    p_write: float = 0.9,
+    min_size: int = 1,
+    max_size: int = 4,
+) -> TaskGraph:
+    """A fully random sequential access trace.
+
+    Every task reads up to ``max_reads`` random objects and, with
+    probability ``p_write``, read-modify-writes one more.  Because the
+    builder enforces the trace semantics, the resulting graph is a valid
+    transformed DAG whatever the random choices — the workhorse of the
+    builder/scheduler property tests.
+    """
+    rng = np.random.default_rng(seed)
+    b = GraphBuilder(materialize_inputs=True)
+    for i in range(num_objects):
+        b.add_object(f"d{i}", int(rng.integers(min_size, max_size + 1)))
+    for i in range(num_tasks):
+        k = int(rng.integers(0, max_reads + 1))
+        reads = list(rng.choice(num_objects, size=min(k, num_objects), replace=False))
+        writes: list[int] = []
+        if rng.random() < p_write or not reads:
+            w = int(rng.integers(num_objects))
+            writes = [w]
+            if w not in reads:
+                reads.append(w)
+        b.add_task(
+            f"T{i}",
+            reads=tuple(f"d{j}" for j in reads),
+            writes=tuple(f"d{j}" for j in writes),
+            weight=float(rng.uniform(0.5, 2.0)),
+        )
+    return b.build()

@@ -1,0 +1,123 @@
+"""Data renaming (multi-buffering) — the alternative the paper weighs.
+
+Section 3.1: an address becomes stale when a volatile copy dies; "Data
+renaming would avoid this problem [4], but it creates more complexity in
+indexing data objects and memory optimization."  This module implements
+the renaming transformation so the trade-off can be *measured*:
+
+:func:`rename_versions` rewrites a task graph so that selected objects
+rotate through ``k`` buffers (``o | o#b1 | ... | o#b{k-1}``): each write
+targets the next buffer, readers read the buffer their version lives in.
+With ``k >= 2`` consecutive versions live in different storage, so the
+write-after-read handshake between a producer and its remote readers
+disappears — producer/consumer loops pipeline — at the price of ``k``
+times the object's memory.
+
+The paper's RAPID chooses *not* to rename (allocated-once volatile
+objects, weaker invalidation criterion); the renaming ablation benchmark
+quantifies what that choice costs and saves.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from .builder import GraphBuilder, is_source_task
+from .taskgraph import TaskGraph
+
+BUF_SEP = "#b"
+
+
+def buffer_name(obj: str, b: int) -> str:
+    """Name of buffer ``b`` of a renamed object (buffer 0 keeps the
+    original name)."""
+    return obj if b == 0 else f"{obj}{BUF_SEP}{b}"
+
+
+def renamed_objects(obj: str, buffers: int) -> list[str]:
+    return [buffer_name(obj, b) for b in range(buffers)]
+
+
+def rename_versions(
+    graph: TaskGraph,
+    buffers: int = 2,
+    objects: Optional[Iterable[str]] = None,
+) -> TaskGraph:
+    """Rewrite ``graph`` with ``buffers``-deep rotation on ``objects``
+    (default: every object written more than once).
+
+    Task names are preserved; the trace is replayed so all derived
+    dependences (including the now-relaxed anti/output chains) are
+    recomputed.  ``buffers=1`` reproduces the original graph.
+    """
+    if buffers < 1:
+        raise ValueError("buffers must be >= 1")
+    if objects is None:
+        objects = [
+            o.name
+            for o in graph.objects()
+            if len([w for w in graph.writers(o.name) if not is_source_task(w)]) > 1
+        ]
+    targets = set(objects)
+    for o in targets:
+        if not graph.has_object(o):
+            raise ValueError(f"unknown object {o!r}")
+
+    b = GraphBuilder(materialize_inputs=True, dependence_mode="transform")
+    for o in graph.objects():
+        if o.name in targets:
+            for name in renamed_objects(o.name, buffers):
+                b.add_object(name, o.size)
+        else:
+            b.add_object(o.name, o.size)
+
+    current: dict[str, int] = {o: 0 for o in targets}  # live buffer index
+
+    def read_name(o: str) -> str:
+        if o in targets:
+            return buffer_name(o, current[o])
+        return o
+
+    def write_name(o: str, also_reads: bool) -> str:
+        if o not in targets:
+            return o
+        if also_reads:
+            # read-modify-write stays in place: the new version is
+            # derived from the old one in the same buffer (rotating would
+            # need a copy, which renaming is meant to avoid for RMW).
+            return buffer_name(o, current[o])
+        current[o] = (current[o] + 1) % buffers
+        return buffer_name(o, current[o])
+
+    for t in graph.tasks():
+        if is_source_task(t.name):
+            continue
+        reads = [read_name(o) for o in t.read_only]
+        writes = []
+        for o in t.writes:
+            rmw = o in t.reads
+            if rmw:
+                reads.append(read_name(o))
+            writes.append(write_name(o, also_reads=rmw))
+        # de-duplicate while preserving order (a task may read two
+        # versions that now map to one buffer name); reads legitimately
+        # overlap writes for read-modify-write tasks.
+        reads = list(dict.fromkeys(reads))
+        b.add_task(
+            t.name,
+            reads=tuple(reads),
+            writes=tuple(writes),
+            weight=t.weight,
+            commute=t.commute,
+            # Kernels address the store by the original object names, so
+            # they are dropped: the renamed graph is a scheduling/timing
+            # model (which is what the renaming trade-off is about).
+            kernel=None,
+        )
+    return b.build()
+
+
+def renaming_memory_overhead(graph: TaskGraph, renamed: TaskGraph) -> float:
+    """Ratio of total data footprint after/before renaming."""
+    before = graph.total_data()
+    return renamed.total_data() / before if before else 1.0

@@ -1,0 +1,99 @@
+"""Graph repetition: unroll an iterative computation.
+
+RAPID's applications "involve iterative computation and have invariant
+or slowly changed dependence structures" (section 2).  Given the task
+graph of one iteration, :func:`repeat_graph` replays its sequential
+trace ``n`` times over the *same* data objects: iteration ``i+1``'s
+reads see the versions written by iteration ``i``, so the unrolled graph
+is exactly the multi-iteration computation — and executing it on the
+simulator captures the cross-iteration pipelining that running
+iterations back-to-back would miss.
+
+:func:`repeat_schedule` unrolls a single-iteration schedule the same
+way (each processor's order repeated), producing a valid schedule of
+the repeated graph; the MAP planner and the simulator then handle
+volatile liveness *across* iteration boundaries exactly.
+"""
+
+from __future__ import annotations
+
+from ..core.placement import Placement
+from ..core.schedule import Schedule
+from .builder import GraphBuilder, is_source_task
+from .taskgraph import TaskGraph
+
+SEP = "#it"
+
+
+def iter_name(task: str, i: int) -> str:
+    """Name of iteration ``i``'s clone of ``task``."""
+    return f"{task}{SEP}{i}"
+
+
+def base_name(task: str) -> str:
+    """Original name of a repeated task (identity for others)."""
+    return task.split(SEP, 1)[0]
+
+
+def repeat_graph(graph: TaskGraph, n: int) -> TaskGraph:
+    """Unroll ``graph`` ``n`` times over the same data objects.
+
+    The original graph's implicit source tasks are dropped from the
+    replay (the new builder re-materialises initial data exactly once);
+    commuting-group keys are renamed per iteration.
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    b = GraphBuilder(materialize_inputs=True, dependence_mode="transform")
+    for o in graph.objects():
+        b.add_object(o.name, o.size)
+    for i in range(n):
+        for t in graph.tasks():
+            if is_source_task(t.name):
+                continue
+            b.add_task(
+                iter_name(t.name, i),
+                reads=t.reads,
+                writes=t.writes,
+                weight=t.weight,
+                commute=f"{t.commute}{SEP}{i}" if t.commute is not None else None,
+                kernel=t.kernel,
+            )
+    return b.build()
+
+
+def repeat_schedule(schedule: Schedule, n: int) -> Schedule:
+    """Unroll a single-iteration schedule over the repeated graph.
+
+    Each processor executes its original order once per iteration;
+    implicit source tasks of the repeated graph go first on their
+    owners' processors (position of the originals, iteration 0 only).
+    """
+    rg = repeat_graph(schedule.graph, n)
+    assignment: dict[str, int] = {}
+    orders: list[list[str]] = [[] for _ in range(schedule.num_procs)]
+    # Sources of the repeated graph: schedule them first on the owner.
+    placement = Placement(schedule.placement.num_procs, dict(schedule.placement.owner))
+    for t in rg.task_names:
+        if is_source_task(t):
+            obj = t.split(":", 1)[1]
+            q = placement[obj]
+            assignment[t] = q
+            orders[q].append(t)
+    for i in range(n):
+        for q, order in enumerate(schedule.orders):
+            for t in order:
+                if is_source_task(t):
+                    continue
+                name = iter_name(t, i)
+                assignment[name] = q
+                orders[q].append(name)
+    out = Schedule(
+        graph=rg,
+        placement=placement,
+        assignment=assignment,
+        orders=orders,
+        meta={**schedule.meta, "iterations": n},
+    )
+    out.validate()
+    return out

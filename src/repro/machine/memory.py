@@ -1,0 +1,172 @@
+"""Per-processor memory allocators for the simulation.
+
+Two allocators are provided:
+
+* :class:`ObjectAllocator` — the accounting model used by the simulator
+  proper: object-granular, capacity-enforcing, fragmentation-free
+  (matches the paper's space accounting, where an object either fits or
+  does not).
+* :class:`FreeListAllocator` — an address-space model with first-fit
+  placement and coalescing free lists.  It exists to demonstrate the
+  *fragmentation* problem the paper's conclusion raises ("space freed
+  from irregular dependence structures usually contains many small
+  pieces and is hard to be re-utilized.  To address this fragmentation
+  problem, it is necessary to develop a special memory allocator") — see
+  the fragmentation ablation benchmark.
+
+Both track peak usage so the simulator can assert it never exceeds the
+planned capacity.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+
+from ..errors import MemoryError_
+
+
+@dataclass
+class ObjectAllocator:
+    """Object-granular allocator with a hard capacity.
+
+    ``alloc``/``free`` work on named objects with fixed sizes; double
+    allocation and unknown frees raise — the simulator relies on these
+    checks to validate the MAP protocol.
+    """
+
+    capacity: int
+    used: int = 0
+    peak: int = 0
+    _sizes: dict[str, int] = field(default_factory=dict)
+
+    def alloc(self, name: str, size: int) -> None:
+        if name in self._sizes:
+            raise MemoryError_(f"object {name!r} is already allocated")
+        if size < 0:
+            raise MemoryError_(f"negative size for {name!r}")
+        if self.used + size > self.capacity:
+            raise MemoryError_(
+                f"allocating {name!r} ({size} B) exceeds capacity "
+                f"({self.used}/{self.capacity} B used)"
+            )
+        self._sizes[name] = size
+        self.used += size
+        if self.used > self.peak:
+            self.peak = self.used
+
+    def free(self, name: str) -> int:
+        try:
+            size = self._sizes.pop(name)
+        except KeyError:
+            raise MemoryError_(f"freeing unallocated object {name!r}") from None
+        self.used -= size
+        return size
+
+    def is_allocated(self, name: str) -> bool:
+        return name in self._sizes
+
+    def would_fit(self, size: int) -> bool:
+        return self.used + size <= self.capacity
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity - self.used
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._sizes
+
+    def __len__(self) -> int:
+        return len(self._sizes)
+
+
+class FreeListAllocator:
+    """First-fit address-space allocator with coalescing.
+
+    Models a contiguous heap of ``capacity`` bytes.  Unlike
+    :class:`ObjectAllocator` an allocation can fail even when enough
+    total bytes are free — external fragmentation — which is exactly the
+    effect the paper's conclusion discusses for irregular dependence
+    structures.
+    """
+
+    def __init__(self, capacity: int):
+        if capacity < 0:
+            raise MemoryError_("negative capacity")
+        self.capacity = capacity
+        #: sorted list of (start, length) free extents
+        self._free: list[tuple[int, int]] = [(0, capacity)] if capacity else []
+        self._blocks: dict[str, tuple[int, int]] = {}
+        self.used = 0
+        self.peak = 0
+        self.failed_fragmented = 0  # fits by bytes but not by extent
+
+    def alloc(self, name: str, size: int) -> int:
+        """Allocate ``size`` bytes first-fit; returns the start address.
+
+        Raises :class:`~repro.errors.MemoryError_` when no extent fits.
+        """
+        if name in self._blocks:
+            raise MemoryError_(f"object {name!r} is already allocated")
+        if size == 0:
+            self._blocks[name] = (0, 0)
+            return 0
+        for i, (start, length) in enumerate(self._free):
+            if length >= size:
+                if length == size:
+                    del self._free[i]
+                else:
+                    self._free[i] = (start + size, length - size)
+                self._blocks[name] = (start, size)
+                self.used += size
+                self.peak = max(self.peak, self.used)
+                return start
+        if self.used + size <= self.capacity:
+            self.failed_fragmented += 1
+            raise MemoryError_(
+                f"fragmentation: {size} B requested, {self.capacity - self.used} "
+                f"B free but no extent large enough"
+            )
+        raise MemoryError_(f"out of memory allocating {size} B for {name!r}")
+
+    def free(self, name: str) -> None:
+        try:
+            start, size = self._blocks.pop(name)
+        except KeyError:
+            raise MemoryError_(f"freeing unallocated object {name!r}") from None
+        if size == 0:
+            return
+        self.used -= size
+        i = bisect.bisect_left(self._free, (start, 0))
+        self._free.insert(i, (start, size))
+        # Coalesce with neighbours.
+        if i + 1 < len(self._free):
+            s, l = self._free[i]
+            s2, l2 = self._free[i + 1]
+            if s + l == s2:
+                self._free[i : i + 2] = [(s, l + l2)]
+        if i > 0:
+            s0, l0 = self._free[i - 1]
+            s, l = self._free[i]
+            if s0 + l0 == s:
+                self._free[i - 1 : i + 1] = [(s0, l0 + l)]
+
+    def is_allocated(self, name: str) -> bool:
+        return name in self._blocks
+
+    def address_of(self, name: str) -> int:
+        return self._blocks[name][0]
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity - self.used
+
+    @property
+    def largest_free_extent(self) -> int:
+        return max((l for _s, l in self._free), default=0)
+
+    def fragmentation(self) -> float:
+        """1 - largest_extent / free_bytes (0 = unfragmented)."""
+        if self.free_bytes == 0:
+            return 0.0
+        return 1.0 - self.largest_free_extent / self.free_bytes

@@ -1,0 +1,677 @@
+"""Discrete-event execution of schedules under active memory management.
+
+This module is the Cray-T3D stand-in: it executes a static schedule on
+``p`` simulated processors connected by an RMA network, following the
+five-state protocol of section 3.3 (Figure 3(b)):
+
+* **REC** — the processor blocks until every input object of its next
+  task is locally available;
+* **EXE** — task computation (non-blocking, costs the task weight);
+* **SND** — after a task completes, messages for remote readers are
+  issued; a data put whose *remote address is unknown* is enqueued on the
+  suspended sending queue (worst-case length ``O(e)``, as the paper
+  notes);
+* **MAP** — a memory allocation point: frees dead volatile objects,
+  allocates forward, assembles address packages; blocks while a
+  destination has not consumed the previous package (one unbuffered
+  address slot per ordered processor pair);
+* **END** — all local tasks done; the processor drains its suspended
+  queue before terminating.
+
+Blocked states perform **RA** (read arrived address packages, freeing
+the sender's slot) and **CQ** (dispatch suspended sends whose addresses
+became known) — in the event-driven setting these run at task
+boundaries and whenever an event wakes a blocked processor, which is
+semantically the "invoke frequently" requirement of the paper.
+
+The simulator *verifies* Theorem 1 as it runs: every data put checks
+that the sender's local content version matches the version the edge
+requires (no stale copies), arriving data must land in allocated
+space, and an empty event queue with unfinished processors raises
+:class:`~repro.errors.DeadlockError` (which Theorem 1 proves impossible
+when ``capacity >= MIN_MEM``; the property tests exercise this).
+
+Two execution modes:
+
+* ``memory_managed=True`` — the full protocol driven by a
+  :class:`~repro.core.maps.MapPlan` (positions from the static liveness
+  analysis);
+* ``memory_managed=False`` — the *baseline* of Tables 2/3: all volatile
+  space pre-allocated, all addresses known a priori, no MAP costs.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+from ..core.liveness import MemoryProfile, analyze_memory
+from ..core.maps import MapPlan, MapPoint, plan_maps
+from ..core.placement import validate_owner_compute
+from ..core.schedule import Schedule
+from ..errors import DataConsistencyError, DeadlockError, SimulationError
+from .memory import ObjectAllocator
+from .spec import CRAY_T3D, MachineSpec
+
+
+class ProcState(Enum):
+    REC = "REC"
+    EXE = "EXE"
+    SND = "SND"
+    MAP = "MAP"
+    END = "END"
+    DONE = "DONE"
+
+
+# Event kinds (ordered tuples on a heap).
+_TASK_DONE = 0
+_DATA_ARRIVE = 1
+_ADDR_ARRIVE = 2
+_SLOT_FREE = 3
+
+
+@dataclass
+class ProcessorStats:
+    """Per-processor execution statistics."""
+
+    busy_time: float = 0.0
+    #: CPU time spent on protocol work: MAP actions, package assembly,
+    #: RA reads, send overheads.
+    overhead_time: float = 0.0
+    num_maps: int = 0
+    data_msgs_sent: int = 0
+    sync_msgs_sent: int = 0
+    suspended_sends: int = 0
+    packages_sent: int = 0
+    packages_read: int = 0
+    peak_memory: int = 0
+    finish_time: float = 0.0
+
+    @property
+    def idle_time(self) -> float:
+        """Time neither computing nor doing protocol work (blocked in
+        REC / MAP / END waits)."""
+        return max(self.finish_time - self.busy_time - self.overhead_time, 0.0)
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One event of an execution trace (``trace=True``)."""
+
+    time: float
+    proc: int
+    kind: str  # start | done | map | send | suspend | data | addr | end
+    detail: str
+
+
+@dataclass
+class SimResult:
+    """Outcome of one simulated execution."""
+
+    parallel_time: float
+    task_finish_time: float
+    stats: list[ProcessorStats]
+    capacity: int
+    memory_managed: bool
+    plan: Optional[MapPlan] = None
+    trace: Optional[list[TraceEvent]] = None
+
+    def render_trace(self, limit: int = 200) -> str:
+        """Human-readable event log (requires ``trace=True``)."""
+        if self.trace is None:
+            return "(tracing was not enabled)"
+        lines = [
+            f"{e.time:12.6f}  P{e.proc}  {e.kind:<7} {e.detail}"
+            for e in self.trace[:limit]
+        ]
+        if len(self.trace) > limit:
+            lines.append(f"... ({len(self.trace) - limit} more events)")
+        return "\n".join(lines)
+
+    @property
+    def avg_maps(self) -> float:
+        counts = [s.num_maps for s in self.stats if s.busy_time > 0 or s.num_maps]
+        return sum(counts) / len(counts) if counts else 0.0
+
+    @property
+    def peak_memory(self) -> int:
+        return max((s.peak_memory for s in self.stats), default=0)
+
+    @property
+    def total_data_msgs(self) -> int:
+        return sum(s.data_msgs_sent for s in self.stats)
+
+    @property
+    def utilization(self) -> float:
+        if self.parallel_time <= 0:
+            return 1.0
+        p = len(self.stats)
+        return sum(s.busy_time for s in self.stats) / (p * self.parallel_time)
+
+
+class Simulator:
+    """Execute one schedule on the simulated machine.
+
+    Parameters
+    ----------
+    schedule:
+        A validated static schedule (owner-compute is asserted).
+    spec:
+        Machine cost parameters (default: :data:`~repro.machine.spec.CRAY_T3D`).
+    capacity:
+        Per-processor memory in bytes/units; defaults to
+        ``spec.memory_capacity``.  With ``memory_managed=True`` a
+        :class:`~repro.errors.NonExecutableScheduleError` propagates from
+        the MAP planner when the capacity is below ``MIN_MEM``; the
+        baseline mode requires ``capacity >= TOT``.
+    memory_managed:
+        Toggle the active memory management protocol (see module doc).
+    plan / profile:
+        Optional precomputed MAP plan and memory profile (re-used by the
+        experiment sweeps).
+    """
+
+    def __init__(
+        self,
+        schedule: Schedule,
+        spec: MachineSpec = CRAY_T3D,
+        capacity: Optional[int] = None,
+        memory_managed: bool = True,
+        plan: Optional[MapPlan] = None,
+        profile: Optional[MemoryProfile] = None,
+        validate: bool = True,
+        preknown_addresses: bool = False,
+        trace: bool = False,
+    ):
+        """See class docstring; ``preknown_addresses=True`` models a
+        steady-state iteration of an iterative application (RAPID's
+        target workloads, Figure 1: "execute tasks iteratively"): the
+        volatile addresses notified during the first iteration remain
+        valid, so MAPs still pay their allocate/free costs but no
+        address packages travel and no send ever suspends."""
+        self.schedule = schedule
+        self.spec = spec
+        self.g = schedule.graph
+        self.p = schedule.num_procs
+        self.memory_managed = memory_managed
+        self.preknown_addresses = preknown_addresses
+        self.trace_enabled = trace
+        if validate:
+            schedule.validate()
+            validate_owner_compute(self.g, schedule.placement, schedule.assignment)
+        self.profile = profile if profile is not None else analyze_memory(schedule)
+        if capacity is None:
+            capacity = (
+                spec.memory_capacity if memory_managed else max(self.profile.tot, 1)
+            )
+        self.capacity = int(capacity)
+        if memory_managed:
+            self.plan = (
+                plan
+                if plan is not None
+                else plan_maps(schedule, self.capacity, self.profile)
+            )
+        else:
+            if self.capacity < self.profile.tot:
+                raise SimulationError(
+                    f"baseline mode needs capacity >= TOT "
+                    f"({self.capacity} < {self.profile.tot})"
+                )
+            self.plan = None
+        self._build_static()
+
+    # ------------------------------------------------------------------
+    # static preprocessing
+    # ------------------------------------------------------------------
+
+    def _pid(self, task: str) -> str:
+        """Producer unit: commuting-group key or the task itself."""
+        t = self.g.task(task)
+        return t.commute if t.commute is not None else task
+
+    def _build_static(self) -> None:
+        g, sched = self.g, self.schedule
+        assignment = sched.assignment
+        pos = sched.position()
+        # Trigger task of each producer unit: the unit's last task in the
+        # processor order (commuting groups are co-located).
+        trigger: dict[str, str] = {}
+        for t in g.task_names:
+            u = self._pid(t)
+            cur = trigger.get(u)
+            if cur is None or pos[t] > pos[cur]:
+                trigger[u] = t
+        self._trigger = trigger
+
+        # Outgoing messages per trigger task.
+        #   data: (obj, unit, dest, nbytes)   sync: (unit, dest)
+        out_data: dict[str, list[tuple[str, str, int, int]]] = {}
+        out_sync: dict[str, list[tuple[str, int]]] = {}
+        seen_data: set[tuple[str, str, int]] = set()
+        seen_sync: set[tuple[str, int]] = set()
+        # Receiver-side requirements per task:
+        #   list of ("data", obj, unit) / ("sync", unit)
+        needs: dict[str, list[tuple]] = {t: [] for t in g.task_names}
+        # How many unexecuted tasks of each processor still need a given
+        # received key (for the stale-copy consistency check).
+        self._need_count: list[dict[tuple, int]] = [dict() for _ in range(self.p)]
+
+        for u, v, objs in g.edges():
+            pu, pv = assignment[u], assignment[v]
+            if pu == pv:
+                continue
+            unit = self._pid(u)
+            trig = trigger[unit]
+            if objs:
+                # The payload of a commuting group is its accumulated
+                # result: one message per (object, group, destination),
+                # issued when the group's last local task finishes.  The
+                # true graph gives readers edges from *every* member, so
+                # waiting for the group adds no false synchronisation.
+                for m in sorted(objs):
+                    key = (m, unit, pv)
+                    if key not in seen_data:
+                        seen_data.add(key)
+                        out_data.setdefault(trig, []).append(
+                            (m, unit, pv, g.object(m).size)
+                        )
+                    needs[v].append(("data", m, unit))
+                    cnt = self._need_count[pv]
+                    cnt[(m, unit)] = cnt.get((m, unit), 0) + 1
+            else:
+                # Synchronisation edges are member-specific (they encode
+                # a transformed anti/output dependence from one task);
+                # firing them at group completion instead would create
+                # circular waits the true graph does not have.
+                key = (u, pv)
+                if key not in seen_sync:
+                    seen_sync.add(key)
+                    out_sync.setdefault(u, []).append((u, pv))
+                needs[v].append(("sync", u))
+        self._out_data = out_data
+        self._out_sync = out_sync
+        self._needs = needs
+
+        # Every volatile object a processor reads must have a producer
+        # somewhere, otherwise its owner would never send data (and the
+        # address-package handshake could block a MAP forever).  Graphs
+        # built with ``materialize_inputs=True`` satisfy this by
+        # construction.
+        produced = {m for t in g.tasks() for m in t.writes}
+        for q in range(self.p):
+            for m in self.profile.procs[q].span:
+                if m not in produced:
+                    raise SimulationError(
+                        f"volatile object {m!r} read on P{q} has no producer; "
+                        f"build the graph with materialize_inputs=True"
+                    )
+
+        # MAPs by position per processor.
+        self._map_at: list[dict[int, MapPoint]] = [dict() for _ in range(self.p)]
+        if self.plan is not None:
+            for pts in self.plan.points:
+                for mp in pts:
+                    self._map_at[mp.proc][mp.position] = mp
+
+        # Permanent footprint per processor (allocated for the whole run).
+        self._perm_bytes = [pp.perm_bytes for pp in self.profile.procs]
+
+    # ------------------------------------------------------------------
+    # dynamic execution
+    # ------------------------------------------------------------------
+
+    def run(self) -> SimResult:
+        g, sched, spec = self.g, self.schedule, self.spec
+        assignment = sched.assignment
+        nprocs = self.p
+
+        # --- mutable state -------------------------------------------
+        now = 0.0
+        seq = 0
+        events: list[tuple] = []  # (time, seq, kind, payload)
+
+        def post(t: float, kind: int, payload: tuple) -> None:
+            nonlocal seq
+            heapq.heappush(events, (t, seq, kind, payload))
+            seq += 1
+
+        state = [ProcState.REC] * nprocs
+        idx = [0] * nprocs
+        avail = [0.0] * nprocs  # earliest time of the next local action
+        done: set[str] = set()
+        stats = [ProcessorStats() for _ in range(nprocs)]
+        alloc = [ObjectAllocator(self.capacity) for _ in range(nprocs)]
+        for q in range(nprocs):
+            if self._perm_bytes[q]:
+                alloc[q].alloc("<permanent>", self._perm_bytes[q])
+        if not self.memory_managed:
+            # Baseline: all volatile space allocated up-front.
+            for q in range(nprocs):
+                for m in self.profile.procs[q].span:
+                    alloc[q].alloc(m, g.object(m).size)
+
+        received_data: list[set[tuple[str, str]]] = [set() for _ in range(nprocs)]
+        received_sync: list[set[str]] = [set() for _ in range(nprocs)]
+        current_version: dict[str, Optional[str]] = {
+            o.name: None for o in g.objects()
+        }
+        # Sender-side address knowledge: (obj, dest) pairs.
+        addr_known: list[set[tuple[str, int]]] = [set() for _ in range(nprocs)]
+        if not self.memory_managed or self.preknown_addresses:
+            for q in range(nprocs):
+                for m in self.profile.procs[q].span:
+                    owner = sched.placement[m]
+                    addr_known[owner].add((m, q))
+        suspended: list[list[tuple[str, str, int, int]]] = [[] for _ in range(nprocs)]
+        # Address-package slots: slot_busy[src][dst] from src's viewpoint;
+        # inbox[dst][src] holds an unread package's object list.
+        slot_busy: list[list[bool]] = [[False] * nprocs for _ in range(nprocs)]
+        inbox: list[dict[int, list[str]]] = [dict() for _ in range(nprocs)]
+        # Packages a blocked MAP still has to send: (dst, objs).
+        pending_pkgs: list[list[tuple[int, list[str]]]] = [[] for _ in range(nprocs)]
+        map_pending: list[bool] = [False] * nprocs
+        need_count = [dict(d) for d in self._need_count]
+        finished_procs = 0
+        last_task_finish = 0.0
+
+        trace_log: Optional[list[TraceEvent]] = [] if self.trace_enabled else None
+
+        def tr(t: float, q: int, kind: str, detail: str) -> None:
+            if trace_log is not None:
+                trace_log.append(TraceEvent(t, q, kind, detail))
+
+        # --- helpers ---------------------------------------------------
+        def charge(q: int, t: float, cost: float) -> float:
+            avail[q] = max(avail[q], t) + cost
+            stats[q].overhead_time += cost
+            return avail[q]
+
+        nic_free = [0.0] * nprocs  # injection-link availability (optional)
+
+        def dispatch_data(q: int, m: str, unit: str, dest: int, nbytes: int, t: float) -> None:
+            if current_version[m] != unit:
+                raise DataConsistencyError(
+                    f"P{q} sending {m!r} version {current_version[m]!r} for an "
+                    f"edge requiring version {unit!r}"
+                )
+            t2 = charge(q, t, spec.send_overhead)
+            stats[q].data_msgs_sent += 1
+            tr(t2, q, "send", f"{m}@{unit} -> P{dest} ({nbytes} B)")
+            if spec.nic_serialize:
+                start = max(nic_free[q], t2)
+                nic_free[q] = start + nbytes * spec.byte_time
+                arrive = start + spec.message_time(nbytes)
+            else:
+                arrive = t2 + spec.message_time(nbytes)
+            post(arrive, _DATA_ARRIVE, (dest, m, unit, q))
+
+        def ra(q: int, t: float) -> None:
+            """Read arrived address packages, then check the suspended
+            queue (the RA + CQ pair of Figure 3(b))."""
+            if inbox[q]:
+                for src, objs in sorted(inbox[q].items()):
+                    for m in objs:
+                        addr_known[q].add((m, src))
+                    stats[q].packages_read += 1
+                    charge(q, t, spec.ra_cost)
+                    # Consuming frees the sender's slot after one latency.
+                    post(max(avail[q], t) + spec.put_latency, _SLOT_FREE, (src, q))
+                inbox[q].clear()
+            if suspended[q]:
+                still: list[tuple[str, str, int, int]] = []
+                for m, unit, dest, nbytes in suspended[q]:
+                    if (m, dest) in addr_known[q]:
+                        dispatch_data(q, m, unit, dest, nbytes, max(avail[q], t))
+                    else:
+                        still.append((m, unit, dest, nbytes))
+                suspended[q] = still
+
+        def try_send_packages(q: int, t: float) -> bool:
+            """Send pending address packages; True when none remain."""
+            still: list[tuple[int, list[str]]] = []
+            for dst, objs in pending_pkgs[q]:
+                if slot_busy[q][dst]:
+                    still.append((dst, objs))
+                    continue
+                slot_busy[q][dst] = True
+                cost = spec.package_overhead + len(objs) * spec.address_cost
+                t2 = charge(q, t, cost)
+                stats[q].packages_sent += 1
+                post(t2 + spec.put_latency, _ADDR_ARRIVE, (dst, q, list(objs)))
+            pending_pkgs[q] = still
+            return not still
+
+        def do_map(q: int, mp: MapPoint, t: float) -> None:
+            stats[q].num_maps += 1
+            tr(
+                max(avail[q], t), q, "map",
+                f"@pos{mp.position} free={mp.frees} alloc={mp.allocs}",
+            )
+            cost = (
+                spec.map_overhead
+                + len(mp.frees) * spec.free_cost
+                + len(mp.allocs) * spec.alloc_cost
+            )
+            charge(q, t, cost)
+            for m in mp.frees:
+                alloc[q].free(m)
+                # The content dies with the space; later arrivals of the
+                # same object would be protocol violations.
+                received_data[q] = {kv for kv in received_data[q] if kv[0] != m}
+            for m in mp.allocs:
+                alloc[q].alloc(m, g.object(m).size)
+            stats[q].peak_memory = max(stats[q].peak_memory, alloc[q].peak)
+            if not self.preknown_addresses:
+                pending_pkgs[q].extend(
+                    (dst, list(objs)) for dst, objs in sorted(mp.notifications.items())
+                )
+                map_pending[q] = True
+
+        def inputs_ready(q: int, task: str) -> bool:
+            for req in self._needs[task]:
+                if req[0] == "data":
+                    if (req[1], req[2]) not in received_data[q]:
+                        return False
+                else:
+                    if req[1] not in received_sync[q]:
+                        return False
+            return True
+
+        def advance(q: int, t: float) -> None:
+            nonlocal finished_procs
+            if state[q] in (ProcState.EXE, ProcState.DONE):
+                return
+            ra(q, t)
+            order = sched.orders[q]
+            while True:
+                if map_pending[q]:
+                    if not try_send_packages(q, max(avail[q], t)):
+                        state[q] = ProcState.MAP
+                        return
+                    map_pending[q] = False
+                if idx[q] >= len(order):
+                    if suspended[q] or pending_pkgs[q]:
+                        state[q] = ProcState.END
+                        return
+                    if state[q] != ProcState.DONE:
+                        state[q] = ProcState.DONE
+                        stats[q].finish_time = max(avail[q], t)
+                        finished_procs += 1
+                        tr(stats[q].finish_time, q, "end", "all tasks drained")
+                    return
+                mp = self._map_at[q].get(idx[q])
+                if mp is not None and not getattr(mp, "_executed", False):
+                    mp._executed = True
+                    do_map(q, mp, t)
+                    continue
+                task = order[idx[q]]
+                if not inputs_ready(q, task):
+                    state[q] = ProcState.REC
+                    return
+                # EXE
+                state[q] = ProcState.EXE
+                w = g.task(task).weight
+                start = max(avail[q], t)
+                stats[q].busy_time += w
+                avail[q] = start + w
+                tr(start, q, "start", task)
+                post(start + w, _TASK_DONE, (q, task))
+                return
+
+        def complete(q: int, task: str, t: float) -> None:
+            nonlocal last_task_finish
+            done.add(task)
+            last_task_finish = max(last_task_finish, t)
+            idx[q] += 1
+            for m in self.g.task(task).writes:
+                current_version[m] = self._pid(task)
+            # Account consumed keys (stale-copy bookkeeping).
+            for req in self._needs[task]:
+                if req[0] == "data":
+                    key = (req[1], req[2])
+                    need_count[q][key] -= 1
+            # SND: issue messages triggered by this task.
+            state[q] = ProcState.SND
+            for m, unit, dest, nbytes in self._out_data.get(task, ()):
+                if (m, dest) in addr_known[q]:
+                    dispatch_data(q, m, unit, dest, nbytes, t)
+                else:
+                    suspended[q].append((m, unit, dest, nbytes))
+                    stats[q].suspended_sends += 1
+                    tr(t, q, "suspend", f"{m}@{unit} -> P{dest} (no address)")
+            for unit, dest in self._out_sync.get(task, ()):
+                t2 = charge(q, t, spec.send_overhead)
+                stats[q].sync_msgs_sent += 1
+                post(t2 + spec.put_latency, _DATA_ARRIVE, (dest, None, unit, q))
+            state[q] = ProcState.REC
+            advance(q, max(avail[q], t))
+
+        # --- bootstrap ---------------------------------------------------
+        for q in range(nprocs):
+            advance(q, 0.0)
+
+        # --- event loop --------------------------------------------------
+        while events:
+            t, _s, kind, payload = heapq.heappop(events)
+            now = t
+            if kind == _TASK_DONE:
+                q, task = payload
+                complete(q, task, t)
+            elif kind == _DATA_ARRIVE:
+                dest, m, unit, _src = payload
+                if m is None:
+                    received_sync[dest].add(unit)
+                else:
+                    if (
+                        self.memory_managed
+                        and not self.preknown_addresses
+                        and not alloc[dest].is_allocated(m)
+                    ):
+                        # In steady-state iterative mode the address slot
+                        # persists across MAPs, so early arrival is legal
+                        # there; in the first-iteration protocol it is a
+                        # violation (data must land in allocated space).
+                        raise SimulationError(
+                            f"data for {m!r} arrived at P{dest} with no "
+                            f"allocated space (protocol violation)"
+                        )
+                    # Stale-copy check: overwrite of an older version must
+                    # not be needed by any pending local reader.
+                    for key in list(received_data[dest]):
+                        if key[0] == m and key[1] != unit:
+                            if need_count[dest].get(key, 0) > 0:
+                                raise DataConsistencyError(
+                                    f"P{dest} received {m!r}/{unit!r} while "
+                                    f"version {key[1]!r} is still needed"
+                                )
+                            received_data[dest].discard(key)
+                    received_data[dest].add((m, unit))
+                if state[dest] in (ProcState.REC, ProcState.MAP, ProcState.END):
+                    advance(dest, t)
+            elif kind == _ADDR_ARRIVE:
+                dst, src, objs = payload
+                inbox[dst][src] = objs
+                if state[dst] in (ProcState.REC, ProcState.MAP, ProcState.END):
+                    advance(dst, t)
+                elif state[dst] is ProcState.DONE:
+                    # A finished processor still reads packages so the
+                    # sender's slot is released (defensive; should be
+                    # unreachable when the graph has producers for every
+                    # volatile object).
+                    ra(dst, t)
+            elif kind == _SLOT_FREE:
+                src, dst = payload
+                slot_busy[src][dst] = False
+                if state[src] in (ProcState.MAP, ProcState.END, ProcState.REC):
+                    advance(src, t)
+
+        if finished_procs != nprocs:
+            blocked = {
+                q: state[q].value for q in range(nprocs) if state[q] != ProcState.DONE
+            }
+            err = DeadlockError(blocked, len(done), self.g.num_tasks)
+            # Attach a per-processor diagnosis (next task + unmet needs).
+            details: dict[int, str] = {}
+            for q in range(nprocs):
+                if state[q] is ProcState.DONE:
+                    continue
+                order = sched.orders[q]
+                if idx[q] < len(order):
+                    task = order[idx[q]]
+                    missing = []
+                    for req in self._needs[task]:
+                        if req[0] == "data" and (req[1], req[2]) not in received_data[q]:
+                            missing.append(f"data {req[1]}@{req[2]}")
+                        elif req[0] == "sync" and req[1] not in received_sync[q]:
+                            missing.append(f"sync {req[1]}")
+                    details[q] = f"next={task} missing={missing}"
+                else:
+                    details[q] = (
+                        f"END suspended={suspended[q]} pending_pkgs={pending_pkgs[q]}"
+                    )
+            err.details = details
+            raise err
+        if len(done) != self.g.num_tasks:
+            raise SimulationError(
+                f"only {len(done)}/{self.g.num_tasks} tasks executed"
+            )
+        for q in range(nprocs):
+            stats[q].peak_memory = max(stats[q].peak_memory, alloc[q].peak)
+            if stats[q].peak_memory > self.capacity:
+                raise SimulationError(
+                    f"P{q} peak memory {stats[q].peak_memory} exceeds "
+                    f"capacity {self.capacity}"
+                )
+        pt = max((s.finish_time for s in stats), default=0.0)
+        # Clear the per-run MAP execution marks so plans can be re-used.
+        if self.plan is not None:
+            for pts in self.plan.points:
+                for mp in pts:
+                    if hasattr(mp, "_executed"):
+                        del mp._executed
+        if trace_log is not None:
+            trace_log.sort(key=lambda e: (e.time, e.proc))
+        return SimResult(
+            parallel_time=pt,
+            task_finish_time=last_task_finish,
+            stats=stats,
+            capacity=self.capacity,
+            memory_managed=self.memory_managed,
+            plan=self.plan,
+            trace=trace_log,
+        )
+
+
+def simulate(
+    schedule: Schedule,
+    spec: MachineSpec = CRAY_T3D,
+    capacity: Optional[int] = None,
+    memory_managed: bool = True,
+    **kw,
+) -> SimResult:
+    """Convenience wrapper: build a :class:`Simulator` and run it."""
+    return Simulator(
+        schedule, spec=spec, capacity=capacity, memory_managed=memory_managed, **kw
+    ).run()

@@ -1,0 +1,5 @@
+"""Cell-based N-body application (the paper's second motivating domain)."""
+
+from .model import NBodyProblem, build_nbody, cell_name, force_name
+
+__all__ = ["NBodyProblem", "build_nbody", "cell_name", "force_name"]

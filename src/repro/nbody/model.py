@@ -1,0 +1,263 @@
+"""Cell-based N-body force computation — the paper's other motivating
+irregular application ("RAPID is targeted at irregular applications
+which involve iterative computation and have invariant or slowly changed
+dependence structures, such as those in sparse matrix computation and
+N-body galaxy simulations", section 2).
+
+The model is a fixed-structure spatial decomposition: particles live in
+a ``k x k`` grid of cells with *non-uniform* occupancy (mixed
+granularity); every timestep
+
+* ``ZERO(c)``    resets cell ``c``'s force accumulator,
+* ``FORCE(c,d)`` accumulates the softened gravitational forces exerted
+  on ``c``'s particles by neighbour cell ``d`` (including ``d = c``) —
+  accumulations into one cell *commute*,
+* ``MOVE(c)``    integrates positions/velocities (symplectic Euler),
+
+and the next step's ``FORCE`` tasks read the moved particles, giving the
+iterative DAG with an invariant dependence structure that RAPID targets.
+Cell states are owned block-cyclically; a cell's force tasks run on its
+owner and fetch neighbour cells as volatile objects.
+
+Numeric kernels are attached, and :meth:`NBodyProblem.reference_step`
+computes the same physics directly with NumPy so tests can verify that
+*every* schedule reproduces the trajectory exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.placement import Placement, owner_compute_assignment
+from ..graph.builder import GraphBuilder
+from ..graph.taskgraph import TaskGraph
+
+BYTES_PER_FLOAT = 8
+SOFTENING = 0.05
+
+
+def cell_name(i: int, j: int) -> str:
+    return f"C[{i},{j}]"
+
+
+def force_name(i: int, j: int) -> str:
+    return f"F[{i},{j}]"
+
+
+def _pairwise_force(
+    pos_dst: np.ndarray, pos_src: np.ndarray, mass_src: np.ndarray
+) -> np.ndarray:
+    """Softened gravitational acceleration on ``dst`` particles from
+    ``src`` particles (unit G)."""
+    d = pos_src[None, :, :] - pos_dst[:, None, :]  # (ndst, nsrc, 2)
+    r2 = (d**2).sum(axis=2) + SOFTENING**2
+    inv = mass_src[None, :] / (r2 * np.sqrt(r2))
+    return (d * inv[:, :, None]).sum(axis=1)
+
+
+@dataclass
+class NBodyProblem:
+    """A fixed-structure N-body timestepping instance."""
+
+    k: int
+    steps: int
+    dt: float
+    counts: np.ndarray  # particles per cell, shape (k, k)
+    init_pos: dict[tuple[int, int], np.ndarray]
+    init_vel: dict[tuple[int, int], np.ndarray]
+    masses: dict[tuple[int, int], np.ndarray]
+    graph: TaskGraph = field(repr=False)
+
+    @property
+    def num_cells(self) -> int:
+        return self.k * self.k
+
+    @property
+    def total_particles(self) -> int:
+        return int(self.counts.sum())
+
+    def cells(self):
+        for i in range(self.k):
+            for j in range(self.k):
+                yield (i, j)
+
+    def neighbours(self, i: int, j: int):
+        """The 3x3 stencil clipped to the grid (includes the cell)."""
+        for di in (-1, 0, 1):
+            for dj in (-1, 0, 1):
+                ii, jj = i + di, j + dj
+                if 0 <= ii < self.k and 0 <= jj < self.k:
+                    yield (ii, jj)
+
+    def placement(self, p: int) -> Placement:
+        """Block-cyclic cell ownership; forces live with their cell."""
+        pr = max(int(np.sqrt(p)), 1)
+        while p % pr:
+            pr -= 1
+        pc = p // pr
+        owner = {}
+        for (i, j) in self.cells():
+            q = (i % pr) * pc + (j % pc)
+            owner[cell_name(i, j)] = q
+            owner[force_name(i, j)] = q
+        return Placement(p, owner)
+
+    def assignment(self, placement: Placement) -> dict[str, int]:
+        return owner_compute_assignment(self.graph, placement)
+
+    # -- numerics -----------------------------------------------------
+
+    def initial_store(self) -> dict:
+        store: dict = {}
+        for c in self.cells():
+            store[cell_name(*c)] = {
+                "pos": self.init_pos[c].copy(),
+                "vel": self.init_vel[c].copy(),
+                "mass": self.masses[c].copy(),
+            }
+            store[force_name(*c)] = np.zeros_like(self.init_pos[c])
+        return store
+
+    def gather_positions(self, store: dict) -> np.ndarray:
+        return np.concatenate(
+            [store[cell_name(*c)]["pos"] for c in self.cells() if len(store[cell_name(*c)]["pos"])]
+        )
+
+    def reference_trajectory(self) -> np.ndarray:
+        """Direct NumPy simulation of the same physics (per-cell order of
+        accumulation does not matter analytically; float tolerance covers
+        reassociation)."""
+        pos = {c: self.init_pos[c].copy() for c in self.cells()}
+        vel = {c: self.init_vel[c].copy() for c in self.cells()}
+        for _ in range(self.steps):
+            forces = {}
+            for c in self.cells():
+                if len(pos[c]) == 0:
+                    forces[c] = np.zeros((0, 2))
+                    continue
+                acc = np.zeros_like(pos[c])
+                for d in self.neighbours(*c):
+                    if len(pos[d]):
+                        acc += _pairwise_force(pos[c], pos[d], self.masses[d])
+                forces[c] = acc
+            for c in self.cells():
+                if len(pos[c]) == 0:
+                    continue
+                vel[c] = vel[c] + self.dt * forces[c]
+                pos[c] = pos[c] + self.dt * vel[c]
+        return np.concatenate([pos[c] for c in self.cells() if len(pos[c])])
+
+
+def build_nbody(
+    k: int = 4,
+    steps: int = 2,
+    mean_particles: float = 6.0,
+    dt: float = 0.01,
+    seed: int = 0,
+    flop_time: float = 1.0,
+    with_kernels: bool = True,
+) -> NBodyProblem:
+    """Build the ``steps``-timestep N-body task graph.
+
+    Cell occupancy is Poisson-distributed (mixed granularity); particle
+    positions are uniform in the cell, masses log-uniform.
+    """
+    rng = np.random.default_rng(seed)
+    counts = rng.poisson(mean_particles, size=(k, k))
+    init_pos: dict[tuple[int, int], np.ndarray] = {}
+    init_vel: dict[tuple[int, int], np.ndarray] = {}
+    masses: dict[tuple[int, int], np.ndarray] = {}
+    for i in range(k):
+        for j in range(k):
+            n = int(counts[i, j])
+            base = np.array([i, j], dtype=float)
+            init_pos[(i, j)] = base + rng.uniform(0, 1, size=(n, 2))
+            init_vel[(i, j)] = rng.normal(0, 0.05, size=(n, 2))
+            masses[(i, j)] = np.exp(rng.uniform(-1, 1, size=n))
+
+    b = GraphBuilder(materialize_inputs=True, dependence_mode="transform")
+    for i in range(k):
+        for j in range(k):
+            n = int(counts[i, j])
+            b.add_object(cell_name(i, j), max(n, 1) * 5 * BYTES_PER_FLOAT)
+            b.add_object(force_name(i, j), max(n, 1) * 2 * BYTES_PER_FLOAT)
+
+    def k_zero(c):
+        fn, cn = force_name(*c), cell_name(*c)
+
+        def kernel(store):
+            store[fn] = np.zeros_like(store[cn]["pos"])
+
+        return kernel
+
+    def k_force(c, d):
+        fn, cn, dn = force_name(*c), cell_name(*c), cell_name(*d)
+
+        def kernel(store):
+            dst, src = store[cn], store[dn]
+            if len(dst["pos"]) and len(src["pos"]):
+                store[fn] += _pairwise_force(dst["pos"], src["pos"], src["mass"])
+
+        return kernel
+
+    def k_move(c, dt):
+        fn, cn = force_name(*c), cell_name(*c)
+
+        def kernel(store):
+            cell = store[cn]
+            if len(cell["pos"]):
+                cell["vel"] = cell["vel"] + dt * store[fn]
+                cell["pos"] = cell["pos"] + dt * cell["vel"]
+
+        return kernel
+
+    cells = [(i, j) for i in range(k) for j in range(k)]
+    for s in range(steps):
+        for c in cells:
+            b.add_task(
+                f"ZERO({c[0]},{c[1]})@{s}",
+                reads=(cell_name(*c),),
+                writes=(force_name(*c),),
+                weight=max(counts[c], 1) * flop_time,
+                kernel=k_zero(c) if with_kernels else None,
+            )
+        for c in cells:
+            nc = max(int(counts[c]), 1)
+            for di in (-1, 0, 1):
+                for dj in (-1, 0, 1):
+                    d = (c[0] + di, c[1] + dj)
+                    if not (0 <= d[0] < k and 0 <= d[1] < k):
+                        continue
+                    nd = max(int(counts[d]), 1)
+                    b.add_task(
+                        f"FORCE({c[0]},{c[1]}|{d[0]},{d[1]})@{s}",
+                        reads=tuple(
+                            dict.fromkeys(
+                                (cell_name(*c), cell_name(*d), force_name(*c))
+                            )
+                        ),
+                        writes=(force_name(*c),),
+                        weight=20.0 * nc * nd * flop_time,
+                        commute=f"acc:F{c}@{s}",
+                        kernel=k_force(c, d) if with_kernels else None,
+                    )
+        for c in cells:
+            b.add_task(
+                f"MOVE({c[0]},{c[1]})@{s}",
+                reads=(cell_name(*c), force_name(*c)),
+                writes=(cell_name(*c),),
+                weight=4.0 * max(int(counts[c]), 1) * flop_time,
+                kernel=k_move(c, dt) if with_kernels else None,
+            )
+    return NBodyProblem(
+        k=k,
+        steps=steps,
+        dt=dt,
+        counts=counts,
+        init_pos=init_pos,
+        init_vel=init_vel,
+        masses=masses,
+        graph=b.build(),
+    )

@@ -1,0 +1,20 @@
+"""RAPID-style runtime: inspector/executor pipeline behind a small API.
+
+See :class:`~repro.rapid.api.Rapid` for the entry point.
+"""
+
+from .api import IterativeResult, ParallelProgram, Rapid
+from .executor import execute_schedule, execute_serial, global_order
+from .inspector import HEURISTICS, order_with, parallelize
+
+__all__ = [
+    "HEURISTICS",
+    "IterativeResult",
+    "ParallelProgram",
+    "Rapid",
+    "execute_schedule",
+    "execute_serial",
+    "global_order",
+    "order_with",
+    "parallelize",
+]

@@ -1,0 +1,83 @@
+"""Sparse-matrix application substrates (section 5 of the paper).
+
+* :mod:`repro.sparse.matrices` — synthetic Harwell-Boeing stand-ins;
+* :mod:`repro.sparse.ordering` — minimum degree / RCM fill-reducing
+  orderings;
+* :mod:`repro.sparse.etree`, :mod:`repro.sparse.symbolic` — elimination
+  trees and symbolic factorizations (including the static LU bound);
+* :mod:`repro.sparse.cholesky` — 2-D block sparse Cholesky task graphs;
+* :mod:`repro.sparse.lu` — 1-D column-block sparse LU with partial
+  pivoting.
+"""
+
+from .blocks import BlockPartition, block_col_pattern, block_nnz_2d
+from .cholesky import CholeskyProblem, build_cholesky
+from .etree import elimination_tree, postorder, tree_height
+from .lu import LUProblem, build_lu
+from .matrices import (
+    bcsstk15_like,
+    bcsstk24_like,
+    bcsstk33_like,
+    convection_diffusion_2d,
+    goodwin_like,
+    grid_laplacian_2d,
+    grid_laplacian_3d,
+    perturbed_grid_spd,
+    random_spd,
+    truncate,
+)
+from .ordering import minimum_degree, order_matrix, rcm
+from .solve import cholesky_solve, lu_solve
+from .symbolic import (
+    cholesky_flops,
+    fill_nnz,
+    symbolic_cholesky,
+    symbolic_lu_static,
+)
+from .supernodes import (
+    VariablePartition,
+    supernode_partition,
+    supernode_stats,
+    uniform_partition,
+)
+from .trisolve import TrisolveProblem, build_trisolve
+from . import hb
+
+__all__ = [
+    "BlockPartition",
+    "CholeskyProblem",
+    "LUProblem",
+    "bcsstk15_like",
+    "bcsstk24_like",
+    "bcsstk33_like",
+    "block_col_pattern",
+    "block_nnz_2d",
+    "build_cholesky",
+    "build_lu",
+    "cholesky_flops",
+    "convection_diffusion_2d",
+    "elimination_tree",
+    "fill_nnz",
+    "goodwin_like",
+    "grid_laplacian_2d",
+    "grid_laplacian_3d",
+    "minimum_degree",
+    "order_matrix",
+    "perturbed_grid_spd",
+    "postorder",
+    "random_spd",
+    "rcm",
+    "symbolic_cholesky",
+    "symbolic_lu_static",
+    "tree_height",
+    "truncate",
+    "TrisolveProblem",
+    "VariablePartition",
+    "build_trisolve",
+    "cholesky_solve",
+    "hb",
+    "lu_solve",
+    "supernode_partition",
+    "supernode_stats",
+    "uniform_partition",
+]

@@ -1,0 +1,117 @@
+"""Block partitioning of sparse factor patterns.
+
+The paper's applications use two data layouts (section 5):
+
+* **2-D block** sparse Cholesky: the (filled) factor pattern is cut into
+  a ``N x N`` grid of ``w x w`` blocks; each nonzero block is one data
+  object, mapped block-cyclically on a processor grid;
+* **1-D column-block** sparse LU: the columns are cut into panels of
+  width ``w``; each panel (with the static L+U pattern) is one data
+  object, mapped cyclically.
+
+This module computes the block boundaries, the nonzero-block sets and
+per-block nnz counts from a symbolic column pattern.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .symbolic import ColumnPattern
+
+
+@dataclass(frozen=True)
+class BlockPartition:
+    """Uniform 1-D partition of ``n`` indices into blocks of width ``w``."""
+
+    n: int
+    w: int
+
+    def __post_init__(self) -> None:
+        if self.w <= 0 or self.n < 0:
+            raise ValueError("need n >= 0 and w > 0")
+
+    @property
+    def num_blocks(self) -> int:
+        return -(-self.n // self.w) if self.n else 0
+
+    def block_of(self, i: int) -> int:
+        return i // self.w
+
+    def bounds(self, b: int) -> tuple[int, int]:
+        """Half-open index range ``[start, end)`` of block ``b``."""
+        return b * self.w, min((b + 1) * self.w, self.n)
+
+    def width(self, b: int) -> int:
+        s, e = self.bounds(b)
+        return e - s
+
+    def indices(self, b: int) -> np.ndarray:
+        s, e = self.bounds(b)
+        return np.arange(s, e)
+
+    def block_of_array(self, idx: np.ndarray) -> np.ndarray:
+        return np.asarray(idx, dtype=np.int64) // self.w
+
+
+def block_nnz_2d(cols: ColumnPattern, part) -> dict[tuple[int, int], int]:
+    """Per-block nnz of a lower-triangular column pattern.
+
+    Returns ``{(I, J): nnz}`` over nonzero blocks, ``I >= J`` (block row,
+    block column).  ``part`` may be a fixed-width
+    :class:`BlockPartition` or a
+    :class:`~repro.sparse.supernodes.VariablePartition`.
+    """
+    counts: dict[tuple[int, int], int] = {}
+    for j, rows in enumerate(cols):
+        J = part.block_of(j)
+        if len(rows) == 0:
+            continue
+        blocks, reps = np.unique(part.block_of_array(rows), return_counts=True)
+        for i, c in zip(blocks, reps):
+            key = (int(i), J)
+            counts[key] = counts.get(key, 0) + int(c)
+    return counts
+
+
+def panel_nnz_1d(lower: ColumnPattern, upper: ColumnPattern, part) -> list[int]:
+    """Stored entries per column panel for the static LU pattern
+    (L below the diagonal plus U on/above it; the diagonal is counted
+    once)."""
+    out = [0] * part.num_blocks
+    for j in range(part.n):
+        J = part.block_of(j)
+        out[J] += len(lower[j]) + max(len(upper[j]) - 1, 0)
+    return out
+
+
+def block_col_pattern(cols: ColumnPattern, part) -> list[list[int]]:
+    """For each block column ``K``, the sorted list of nonzero block rows
+    ``I >= K`` of the lower pattern."""
+    nz = block_nnz_2d(cols, part)
+    out: list[list[int]] = [[] for _ in range(part.num_blocks)]
+    for (i, j) in nz:
+        out[j].append(i)
+    for lst in out:
+        lst.sort()
+    return out
+
+
+def lu_update_pattern(lower: ColumnPattern, part) -> list[list[int]]:
+    """For each panel ``K``, the panels ``J > K`` it updates.
+
+    ``Update(K, J)`` is needed when the static pattern has an entry in
+    the U-block region (rows of panel ``K``, columns of panel ``J``) —
+    with the symmetric George-Ng bound this is exactly a nonzero block
+    ``(J, K)`` of the lower pattern (transposed view).
+    """
+    nz = block_nnz_2d(lower, part)
+    out: list[list[int]] = [[] for _ in range(part.num_blocks)]
+    for (i, j) in nz:
+        if i > j:
+            out[j].append(i)
+    for lst in out:
+        lst.sort()
+    return out

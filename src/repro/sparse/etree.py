@@ -1,0 +1,94 @@
+"""Elimination tree of a symmetric sparse pattern.
+
+The elimination tree (etree) drives symbolic Cholesky factorization and
+the layer-by-layer structure of the 2-D block task graphs (the proof of
+Corollary 2 leans on it).  Implementation follows Liu's classic
+path-compression algorithm, O(nnz * alpha(n)).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+
+def elimination_tree(a: sp.spmatrix) -> np.ndarray:
+    """Parent array of the elimination tree of ``A``'s symmetric pattern.
+
+    ``parent[j] = -1`` marks a root.  Only the lower triangle of the
+    (symmetrised) pattern is consulted.
+    """
+    s = sp.csr_matrix(a)
+    s = sp.csr_matrix((s + s.T).astype(bool))
+    n = s.shape[0]
+    parent = np.full(n, -1, dtype=np.int64)
+    ancestor = np.full(n, -1, dtype=np.int64)
+    indptr, indices = s.indptr, s.indices
+    for j in range(n):
+        for p in range(indptr[j], indptr[j + 1]):
+            i = indices[p]
+            if i >= j:
+                continue
+            # Walk from i up to the root, compressing with `ancestor`.
+            while True:
+                anc = ancestor[i]
+                if anc == -1 or anc == j:
+                    break
+                ancestor[i] = j
+                i = anc
+            if ancestor[i] == -1:
+                ancestor[i] = j
+                parent[i] = j
+    return parent
+
+
+def postorder(parent: np.ndarray) -> np.ndarray:
+    """A postorder of the elimination forest (children before parents)."""
+    n = len(parent)
+    children: list[list[int]] = [[] for _ in range(n)]
+    roots: list[int] = []
+    for v in range(n):
+        p = parent[v]
+        if p == -1:
+            roots.append(v)
+        else:
+            children[p].append(v)
+    out = np.empty(n, dtype=np.int64)
+    k = 0
+    for root in roots:
+        stack = [(root, iter(children[root]))]
+        while stack:
+            node, it = stack[-1]
+            child = next(it, None)
+            if child is None:
+                stack.pop()
+                out[k] = node
+                k += 1
+            else:
+                stack.append((child, iter(children[child])))
+    assert k == n, "parent array is not a forest"
+    return out
+
+
+def tree_depths(parent: np.ndarray) -> np.ndarray:
+    """Depth of each node (roots have depth 0)."""
+    n = len(parent)
+    depth = np.full(n, -1, dtype=np.int64)
+    for v in range(n):
+        path = []
+        u = v
+        while u != -1 and depth[u] == -1:
+            path.append(u)
+            u = parent[u]
+        base = 0 if u == -1 else depth[u] + 1
+        for node in reversed(path):
+            depth[node] = base
+            base += 1
+    return depth
+
+
+def tree_height(parent: np.ndarray) -> int:
+    """Height of the elimination forest — a proxy for the critical-path
+    length of the column-level factorization DAG."""
+    d = tree_depths(parent)
+    return int(d.max()) + 1 if len(d) else 0

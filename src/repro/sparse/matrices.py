@@ -1,0 +1,155 @@
+"""Synthetic sparse matrix suite.
+
+The paper evaluates on Harwell-Boeing matrices (BCSSTK15, BCSSTK24,
+BCSSTK33 — structural engineering stiffness matrices — and ``goodwin``,
+a fluid-mechanics Jacobian).  Those files are not redistributable and
+this environment has no network access, so this module provides
+*structure-compatible stand-ins*:
+
+* 2-D/3-D grid Laplacians — the canonical sparse SPD model problems,
+  with elimination DAGs exhibiting the same mixed-granularity, deep-
+  dependence behaviour as stiffness matrices;
+* random-perturbation variants that add longer-range couplings, which
+  raises fill and irregularity (closer to real FE meshes);
+* an unsymmetric convection-diffusion operator for the LU experiments.
+
+The ``*_like`` constructors default to a ``scale`` that keeps the Python
+event-driven simulator in the seconds range; pass ``scale=1.0`` for the
+original dimensions.  EXPERIMENTS.md records the scaled sizes used for
+each table.
+
+All functions return ``scipy.sparse.csr_matrix`` with float64 data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+
+def grid_laplacian_2d(k: int, stencil: int = 5) -> sp.csr_matrix:
+    """SPD Laplacian of a ``k x k`` grid (5- or 9-point stencil)."""
+    if stencil not in (5, 9):
+        raise ValueError("stencil must be 5 or 9")
+    n = k * k
+    main = sp.eye(k, format="csr")
+    off = sp.diags([1.0, 1.0], [-1, 1], shape=(k, k), format="csr")
+    a = sp.kron(main, off) + sp.kron(off, main)
+    if stencil == 9:
+        a = a + sp.kron(off, off)
+    deg = np.asarray(a.sum(axis=1)).ravel()
+    lap = sp.diags(deg + 1.0) - a
+    return sp.csr_matrix(lap)
+
+
+def grid_laplacian_3d(k: int) -> sp.csr_matrix:
+    """SPD 7-point Laplacian of a ``k^3`` grid."""
+    eye = sp.eye(k, format="csr")
+    off = sp.diags([1.0, 1.0], [-1, 1], shape=(k, k), format="csr")
+    a = (
+        sp.kron(sp.kron(off, eye), eye)
+        + sp.kron(sp.kron(eye, off), eye)
+        + sp.kron(sp.kron(eye, eye), off)
+    )
+    deg = np.asarray(a.sum(axis=1)).ravel()
+    return sp.csr_matrix(sp.diags(deg + 1.0) - a)
+
+
+def random_spd(n: int, extra_per_row: float = 2.0, seed: int = 0) -> sp.csr_matrix:
+    """Random sparse SPD matrix: symmetric pattern + diagonal dominance."""
+    rng = np.random.default_rng(seed)
+    nnz = int(n * extra_per_row)
+    rows = rng.integers(0, n, size=nnz)
+    cols = rng.integers(0, n, size=nnz)
+    vals = rng.uniform(-1.0, 1.0, size=nnz)
+    b = sp.coo_matrix((vals, (rows, cols)), shape=(n, n)).tocsr()
+    a = b + b.T
+    diag = np.asarray(np.abs(a).sum(axis=1)).ravel()
+    return sp.csr_matrix(a + sp.diags(diag + 1.0))
+
+
+def perturbed_grid_spd(
+    k: int, extra_per_row: float = 0.5, seed: int = 0, stencil: int = 5
+) -> sp.csr_matrix:
+    """Grid Laplacian with random long-range symmetric couplings — the
+    stiffness-matrix stand-in (irregular fill like BCSSTK matrices)."""
+    a = grid_laplacian_2d(k, stencil)
+    n = a.shape[0]
+    rng = np.random.default_rng(seed)
+    nnz = int(n * extra_per_row)
+    rows = rng.integers(0, n, size=nnz)
+    cols = rng.integers(0, n, size=nnz)
+    vals = rng.uniform(0.1, 1.0, size=nnz)
+    b = sp.coo_matrix((vals, (rows, cols)), shape=(n, n)).tocsr()
+    b = b + b.T
+    deg = np.asarray(np.abs(b).sum(axis=1)).ravel()
+    return sp.csr_matrix(a + b + sp.diags(deg + 0.5))
+
+
+def convection_diffusion_2d(k: int, wind: float = 4.0, seed: int = 0) -> sp.csr_matrix:
+    """Unsymmetric convection-diffusion operator on a ``k x k`` grid —
+    the ``goodwin`` (fluid mechanics) stand-in for LU with pivoting.
+
+    The default ``wind`` makes several off-diagonal entries dominate
+    their diagonal, so partial pivoting genuinely swaps rows (the whole
+    point of the paper's second application); the constant diagonal
+    shift keeps the operator comfortably nonsingular.
+    """
+    rng = np.random.default_rng(seed)
+    a = grid_laplacian_2d(k, 5)
+    n = k * k
+    # Skew the off-diagonal couplings to break symmetry.
+    coo = a.tocoo()
+    data = coo.data.copy()
+    mask = coo.row != coo.col
+    data[mask] += wind * rng.uniform(-1.0, 1.0, size=mask.sum())
+    m = sp.coo_matrix((data, (coo.row, coo.col)), shape=(n, n)).tocsr()
+    return sp.csr_matrix(m + sp.diags(np.full(n, 0.5)))
+
+
+# ----------------------------------------------------------------------
+# Harwell-Boeing stand-ins (see module docstring and EXPERIMENTS.md)
+# ----------------------------------------------------------------------
+
+#: Original dimensions of the paper's matrices, for reference.
+PAPER_DIMENSIONS = {
+    "bcsstk15": 3948,
+    "bcsstk24": 3562,
+    "goodwin": 7320,
+    "bcsstk33": 8738,
+}
+
+
+def _scaled_grid(n_target: int, scale: float) -> int:
+    """Grid edge length whose n = k^2 approximates ``n_target * scale``."""
+    return max(4, int(round((n_target * scale) ** 0.5)))
+
+
+def bcsstk15_like(scale: float = 0.12, seed: int = 15) -> sp.csr_matrix:
+    """Structural-engineering-like SPD stand-in for BCSSTK15 (n=3948)."""
+    return perturbed_grid_spd(_scaled_grid(3948, scale), extra_per_row=0.6, seed=seed)
+
+
+def bcsstk24_like(scale: float = 0.12, seed: int = 24) -> sp.csr_matrix:
+    """Structural-engineering-like SPD stand-in for BCSSTK24 (n=3562)."""
+    return perturbed_grid_spd(
+        _scaled_grid(3562, scale), extra_per_row=0.4, seed=seed, stencil=9
+    )
+
+
+def goodwin_like(scale: float = 0.08, seed: int = 7) -> sp.csr_matrix:
+    """Fluid-mechanics-like unsymmetric stand-in for ``goodwin`` (n=7320)."""
+    return convection_diffusion_2d(_scaled_grid(7320, scale), wind=4.0, seed=seed)
+
+
+def bcsstk33_like(scale: float = 0.08, seed: int = 33) -> sp.csr_matrix:
+    """Stand-in for BCSSTK33 (n=8738), used by the Table 8 large-problem
+    experiment; ``scale`` plays the role of the paper's column/row
+    truncation (they solved columns 1..5600 then 1..6080)."""
+    return perturbed_grid_spd(_scaled_grid(8738, scale), extra_per_row=0.8, seed=seed)
+
+
+def truncate(a: sp.csr_matrix, n: int) -> sp.csr_matrix:
+    """Leading principal submatrix — the paper's 'take data from
+    column/row 1 up to n' device for BCSSTK33."""
+    return sp.csr_matrix(a[:n, :n])

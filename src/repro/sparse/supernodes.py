@@ -1,0 +1,130 @@
+"""Supernodal partitioning of factor patterns.
+
+The paper's column blocks follow the matrix structure — Corollary 2
+speaks of "the size of the largest column block of the *partitioned
+input matrix*".  Real sparse solvers group columns into **fundamental
+supernodes**: maximal runs of consecutive columns with identical
+below-diagonal pattern (column ``j+1``'s pattern is column ``j``'s minus
+one row and ``parent(j) = j+1`` in the elimination tree).  Supernodal
+blocks make the dense kernels genuinely dense and the block widths
+follow the problem's own structure instead of an arbitrary ``w``.
+
+:class:`VariablePartition` generalises the fixed-width
+:class:`~repro.sparse.blocks.BlockPartition` interface (``num_blocks``,
+``bounds``, ``width``, ``block_of``), so the Cholesky/LU builders accept
+either.  :func:`supernode_partition` detects fundamental supernodes
+(optionally relaxed by a small pattern-difference tolerance, and capped
+at ``max_width`` to bound Corollary 2's ``w``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .symbolic import ColumnPattern
+
+
+@dataclass(frozen=True)
+class VariablePartition:
+    """1-D partition with arbitrary block boundaries.
+
+    ``boundaries`` is the ascending tuple of block start indices plus the
+    terminal ``n`` (so ``len(boundaries) = num_blocks + 1``).
+    """
+
+    n: int
+    boundaries: tuple[int, ...]
+    _starts: np.ndarray = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        bs = self.boundaries
+        if len(bs) < 2 or bs[0] != 0 or bs[-1] != self.n:
+            raise ValueError("boundaries must run from 0 to n")
+        if any(b >= c for b, c in zip(bs, bs[1:])):
+            raise ValueError("boundaries must be strictly increasing")
+        object.__setattr__(self, "_starts", np.asarray(bs[:-1], dtype=np.int64))
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self.boundaries) - 1
+
+    def block_of(self, i: int) -> int:
+        if not (0 <= i < self.n):
+            raise IndexError(i)
+        return int(np.searchsorted(self._starts, i, side="right") - 1)
+
+    def bounds(self, b: int) -> tuple[int, int]:
+        return self.boundaries[b], self.boundaries[b + 1]
+
+    def width(self, b: int) -> int:
+        s, e = self.bounds(b)
+        return e - s
+
+    def indices(self, b: int) -> np.ndarray:
+        s, e = self.bounds(b)
+        return np.arange(s, e)
+
+    def block_of_array(self, idx: np.ndarray) -> np.ndarray:
+        return np.searchsorted(self._starts, np.asarray(idx), side="right") - 1
+
+    @property
+    def max_width(self) -> int:
+        """Corollary 2's ``w``: the widest block."""
+        return max(self.width(b) for b in range(self.num_blocks))
+
+
+def uniform_partition(n: int, w: int) -> VariablePartition:
+    """Fixed-width partition expressed as a :class:`VariablePartition`."""
+    if w <= 0:
+        raise ValueError("w must be positive")
+    bounds = list(range(0, n, w)) + [n]
+    if len(bounds) >= 2 and bounds[-2] == n:
+        bounds.pop(-2)
+    return VariablePartition(n, tuple(bounds))
+
+
+def supernode_partition(
+    cols: ColumnPattern,
+    max_width: int = 32,
+) -> VariablePartition:
+    """Fundamental supernodes of a symbolic Cholesky pattern.
+
+    Column ``j+1`` joins column ``j``'s supernode when its pattern below
+    the diagonal equals column ``j``'s minus the row ``j+1`` itself —
+    i.e. ``struct(L_{j+1}) = struct(L_j) \\ {j, j+1} ∪ {j+1}``, the
+    classic test ``|L_j| = |L_{j+1}| + 1`` with containment, which for
+    exact symbolic patterns reduces to the count test plus
+    ``parent(j) = j+1``.
+    """
+    n = len(cols)
+    if n == 0:
+        raise ValueError("empty pattern")
+    boundaries = [0]
+    width = 1
+    for j in range(1, n):
+        prev, cur = cols[j - 1], cols[j]
+        fundamental = (
+            width < max_width
+            and len(prev) == len(cur) + 1
+            and len(prev) >= 2
+            and prev[1] == j  # parent(j-1) == j
+            and np.array_equal(prev[1:], cur)
+        )
+        if fundamental:
+            width += 1
+        else:
+            boundaries.append(j)
+            width = 1
+    boundaries.append(n)
+    return VariablePartition(n, tuple(boundaries))
+
+
+def supernode_stats(part: VariablePartition) -> dict[str, float]:
+    widths = [part.width(b) for b in range(part.num_blocks)]
+    return {
+        "num_blocks": part.num_blocks,
+        "max_width": max(widths, default=0),
+        "mean_width": float(np.mean(widths)) if widths else 0.0,
+    }

@@ -1,0 +1,84 @@
+"""Unit tests for DSC clustering and LPT mapping."""
+
+from repro.core import gantt, serial_schedule
+from repro.core.clustering import (
+    colocate_writers,
+    dsc_cluster,
+    dsc_map,
+    lpt_map_clusters,
+)
+from repro.core.placement import validate_owner_compute
+from repro.core.rcp import rcp_order
+from repro.graph import GraphBuilder
+from repro.graph.generators import chain, fork_join, layered_random
+
+
+class TestDSC:
+    def test_chain_collapses_to_one_cluster(self):
+        """Zeroing every edge of a chain is always beneficial."""
+        g = chain(6)
+        clusters = dsc_cluster(g)
+        assert len(set(clusters)) == 1
+
+    def test_independent_tasks_stay_apart(self):
+        b = GraphBuilder(materialize_inputs=False)
+        b.add_object("a")
+        b.add_object("b")
+        b.add_task("t1", writes=("a",), weight=5)
+        b.add_task("t2", writes=("b",), weight=5)
+        g = b.build()
+        clusters = dsc_cluster(g)
+        assert clusters[0] != clusters[1]
+
+    def test_deterministic(self):
+        g = layered_random(5, 5, seed=8)
+        assert dsc_cluster(g) == dsc_cluster(g)
+
+    def test_dense_ids(self):
+        g = fork_join(2, 3)
+        clusters = dsc_cluster(g)
+        assert set(clusters) == set(range(max(clusters) + 1))
+
+
+class TestColocateWriters:
+    def test_writers_merged(self):
+        b = GraphBuilder(materialize_inputs=False)
+        b.add_object("a")
+        b.add_object("x")
+        b.add_object("y")
+        b.add_task("w1", writes=("a",))
+        b.add_task("rx", reads=("a",), writes=("x",))
+        b.add_task("w2", reads=("x",), writes=("a",))
+        g = b.build()
+        clusters = [0, 1, 2]  # w1 and w2 in different clusters
+        merged = colocate_writers(g, clusters)
+        idx = {t: i for i, t in enumerate(g.task_names)}
+        assert merged[idx["w1"]] == merged[idx["w2"]]
+
+
+class TestLPT:
+    def test_balances_load(self):
+        b = GraphBuilder(materialize_inputs=False)
+        for i in range(4):
+            b.add_object(f"o{i}")
+            b.add_task(f"t{i}", writes=(f"o{i}",), weight=float(i + 1))
+        g = b.build()
+        asg = lpt_map_clusters(g, [0, 1, 2, 3], 2)
+        loads = [0.0, 0.0]
+        for t in g.tasks():
+            loads[asg[t.name]] += t.weight
+        assert abs(loads[0] - loads[1]) <= 1.0
+
+
+class TestDscMap:
+    def test_owner_compute_invariant(self):
+        g = layered_random(6, 6, seed=2)
+        asg, pl = dsc_map(g, 4)
+        validate_owner_compute(g, pl, asg)
+
+    def test_end_to_end_speedup(self):
+        """DSC mapping + RCP ordering beats a serial run on a wide DAG."""
+        g = fork_join(3, 8, weight=4.0)
+        asg, pl = dsc_map(g, 4)
+        s = rcp_order(g, pl, asg)
+        assert gantt(s).makespan < gantt(serial_schedule(g)).makespan

@@ -1,0 +1,80 @@
+"""Unit tests for dependence-structure memory accounting."""
+
+import pytest
+
+from repro.core import cyclic_placement, mpo_order, owner_compute_assignment
+from repro.core.depmem import (
+    RecordSizes,
+    dependence_memory_report,
+    distributed_dependence_memory,
+    replicated_dependence_memory,
+)
+from repro.graph.generators import chain, random_trace
+
+
+def sched(g, p):
+    pl = cyclic_placement(g, p)
+    return mpo_order(g, pl, owner_compute_assignment(g, pl))
+
+
+class TestReplicated:
+    def test_chain_exact(self):
+        g = chain(3)  # 3 tasks, 2 edges, 3 objects; accesses: 0+2*2...
+        sizes = RecordSizes(task=10, access=1, edge=5, object_index=2)
+        mem = replicated_dependence_memory(g, 2, sizes)
+        accesses = sum(len(t.accesses) for t in g.tasks())
+        expect = 3 * 10 + accesses * 1 + 2 * 5 + 3 * 2
+        assert mem.per_proc == [expect, expect]
+        assert mem.max_bytes == expect
+        assert mem.total_bytes == 2 * expect
+
+    def test_grows_with_graph(self):
+        small = replicated_dependence_memory(chain(3), 1)
+        big = replicated_dependence_memory(chain(30), 1)
+        assert big.max_bytes > small.max_bytes
+
+
+class TestDistributed:
+    def test_totals_bounded_by_replication(self):
+        g = random_trace(60, 10, seed=1)
+        s = sched(g, 4)
+        rep = replicated_dependence_memory(g, 4)
+        dist = distributed_dependence_memory(s)
+        assert dist.max_bytes <= rep.max_bytes
+        # cross edges double-counted, so total can exceed one replica but
+        # never p replicas
+        assert dist.total_bytes <= rep.total_bytes
+
+    def test_all_tasks_accounted(self):
+        g = random_trace(40, 8, seed=2)
+        s = sched(g, 3)
+        sizes = RecordSizes(task=1, access=0, edge=0, object_index=0)
+        dist = distributed_dependence_memory(s, sizes)
+        assert dist.total_bytes == g.num_tasks
+
+    def test_cross_edges_counted_twice(self):
+        g = chain(2)
+        from repro.core.placement import placement_from_dict
+
+        pl = placement_from_dict(2, {"d0": 0, "d1": 1})
+        asg = owner_compute_assignment(g, pl)
+        s = mpo_order(g, pl, asg)
+        sizes = RecordSizes(task=0, access=0, edge=1, object_index=0)
+        dist = distributed_dependence_memory(s, sizes)
+        assert dist.total_bytes == 2  # one cross edge, both endpoints
+
+
+class TestReport:
+    def test_fractions(self):
+        g = random_trace(50, 10, seed=3)
+        s = sched(g, 4)
+        rep = dependence_memory_report(s, data_per_proc=1000)
+        assert 0 < rep.distributed_fraction <= rep.replicated_fraction < 1
+        assert 0 <= rep.savings < 1
+        assert rep.s1 == g.total_data()
+
+    def test_zero_data(self):
+        g = chain(3)
+        s = sched(g, 1)
+        rep = dependence_memory_report(s, data_per_proc=0)
+        assert rep.replicated_fraction == 1.0

@@ -1,0 +1,139 @@
+"""White-box edge-case tests for the list-scheduling engine."""
+
+import pytest
+
+from repro.core import cyclic_placement, gantt, owner_compute_assignment
+from repro.core.listsched import StaticPolicy, run_list_scheduler
+from repro.core.schedule import CommModel
+from repro.errors import SchedulingError
+from repro.graph import GraphBuilder
+from repro.graph.generators import chain, fork_join
+
+
+def build_graph(tasks):
+    """tasks: list of (name, reads, writes, weight)."""
+    b = GraphBuilder(materialize_inputs=False)
+    objs = {o for _n, r, w, _wt in tasks for o in (*r, *w)}
+    for o in sorted(objs):
+        b.add_object(o, 1)
+    for n, r, w, wt in tasks:
+        b.add_task(n, reads=r, writes=w, weight=wt)
+    return b.build()
+
+
+class TestEngineEdges:
+    def test_zero_weight_tasks(self):
+        g = build_graph([("a", (), ("x",), 0.0), ("b", ("x",), ("y",), 0.0)])
+        pl = cyclic_placement(g, 2)
+        asg = owner_compute_assignment(g, pl)
+        s = run_list_scheduler(g, pl, asg, StaticPolicy({"a": 1.0, "b": 1.0}))
+        assert gantt(s).makespan >= 0
+
+    def test_single_task(self):
+        g = build_graph([("only", (), ("x",), 2.0)])
+        pl = cyclic_placement(g, 3)
+        asg = owner_compute_assignment(g, pl)
+        s = run_list_scheduler(g, pl, asg, StaticPolicy({"only": 1.0}))
+        assert s.orders[asg["only"]] == ["only"]
+
+    def test_empty_graph(self):
+        g = GraphBuilder(materialize_inputs=False).build()
+        pl = cyclic_placement(g, 2)
+        s = run_list_scheduler(g, pl, {}, StaticPolicy({}))
+        assert s.orders == [[], []]
+
+    def test_levels_gate_strictness(self):
+        """A ready task of a later level waits for every earlier-level
+        task on its processor, even when idle time is available."""
+        g = fork_join(1, 3)
+        pl = cyclic_placement(g, 1, order=sorted(o.name for o in g.objects()))
+        asg = {t: 0 for t in g.task_names}
+        # put mid tasks in levels 0, 1, 2 artificially
+        levels = {"fork0": 0, "mid0_0": 2, "mid0_1": 1, "mid0_2": 0, "join0": 3}
+        s = run_list_scheduler(
+            g, pl, asg, StaticPolicy({t: 1.0 for t in g.task_names}), levels=levels
+        )
+        order = s.orders[0]
+        assert order.index("mid0_2") < order.index("mid0_1") < order.index("mid0_0")
+
+    def test_inconsistent_levels_stall_detected(self):
+        """Levels that invert a dependence stall the engine with a clear
+        error instead of looping."""
+        g = chain(2)
+        pl = cyclic_placement(g, 1, order=["d0", "d1"])
+        asg = {t: 0 for t in g.task_names}
+        levels = {"T0": 1, "T1": 0}  # T1 gated before T0, but T1 needs T0
+        with pytest.raises(SchedulingError):
+            run_list_scheduler(
+                g, pl, asg, StaticPolicy({"T0": 1.0, "T1": 1.0}), levels=levels
+            )
+
+    def test_dynamic_priority_refresh(self):
+        """A policy that boosts one task after another is scheduled sees
+        the boost honoured (lazy heap invalidation)."""
+
+        class Boost:
+            def __init__(self):
+                self.boosted = False
+
+            def priority(self, task):
+                if task == "late" and self.boosted:
+                    return (100.0,)
+                return {"first": (10.0,), "late": (0.0,), "mid": (5.0,)}[task]
+
+            def on_scheduled(self, task, proc):
+                if task == "first":
+                    self.boosted = True
+                    return ["late"]
+                return []
+
+        g = build_graph(
+            [
+                ("first", (), ("x",), 1.0),
+                ("mid", (), ("y",), 1.0),
+                ("late", (), ("z",), 1.0),
+            ]
+        )
+        pl = cyclic_placement(g, 1, order=["x", "y", "z"])
+        asg = {t: 0 for t in g.task_names}
+        s = run_list_scheduler(g, pl, asg, Boost())
+        order = s.orders[0]
+        assert order == ["first", "late", "mid"]
+
+    def test_comm_model_affects_start_times(self):
+        g = chain(2)
+        pl = cyclic_placement(g, 2, order=["d0", "d1"])
+        asg = owner_compute_assignment(g, pl)
+        cheap = run_list_scheduler(
+            g, pl, asg, StaticPolicy({"T0": 1.0, "T1": 1.0}), comm=CommModel(0.1)
+        )
+        costly = run_list_scheduler(
+            g, pl, asg, StaticPolicy({"T0": 1.0, "T1": 1.0}), comm=CommModel(10.0)
+        )
+        assert gantt(costly, CommModel(10.0)).makespan > gantt(
+            cheap, CommModel(0.1)
+        ).makespan
+
+
+class TestScheduleEdges:
+    def test_serial_schedule_custom_order(self):
+        from repro.core import serial_schedule
+
+        g = chain(3)
+        s = serial_schedule(g, order=["T0", "T1", "T2"])
+        assert s.orders[0] == ["T0", "T1", "T2"]
+
+    def test_ascii_with_unit(self):
+        from repro.core import gantt, serial_schedule
+
+        g = chain(3)
+        art = gantt(serial_schedule(g)).as_ascii(unit=0.5)
+        assert "PT = 3" in art
+
+    def test_empty_ascii(self):
+        from repro.core import Schedule, gantt
+        from repro.core.placement import Placement
+
+        g = GraphBuilder(materialize_inputs=False).build()
+        s = Schedule(g, Placement(1, {}), {}, [[]])
+        assert "empty" in gantt(s).as_ascii()

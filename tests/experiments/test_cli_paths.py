@@ -1,0 +1,34 @@
+"""CLI coverage for every experiment dispatch path (tiny configs)."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.mark.parametrize(
+    "name",
+    ["table2", "table3", "table5"],
+)
+def test_table_paths(name, capsys):
+    assert main([name, "--procs", "4"]) == 0
+    out = capsys.readouterr().out
+    assert name.replace("table", "Table ") in out
+
+
+@pytest.mark.parametrize("name", ["table4", "table6", "table7"])
+def test_comparison_paths(name, capsys):
+    assert main([name, "--app", "lu", "--procs", "4", "8"]) == 0
+    out = capsys.readouterr().out
+    assert "(lu)" in out
+
+
+def test_comparison_both_apps(capsys):
+    assert main(["table4", "--procs", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "(cholesky)" in out and "(lu)" in out
+
+
+@pytest.mark.slow
+def test_table8_path(capsys):
+    assert main(["table8"]) == 0
+    assert "Table 8" in capsys.readouterr().out

@@ -1,0 +1,67 @@
+"""Tests for the generic sweep runner and its CSV round trip."""
+
+import math
+
+import pytest
+
+from repro.experiments import ExperimentContext
+from repro.experiments.sweep import FIELDS, SweepRecord, from_csv, full_sweep, to_csv
+
+
+@pytest.fixture(scope="module")
+def records():
+    ctx = ExperimentContext()
+    return full_sweep(
+        ctx,
+        workloads=("lu-goodwin",),
+        procs=(4, 8),
+        heuristics=("rcp", "mpo"),
+        fractions=(1.0, 0.5),
+    )
+
+
+class TestFullSweep:
+    def test_grid_size(self, records):
+        assert len(records) == 1 * 2 * 2 * 2
+
+    def test_executable_cells_have_metrics(self, records):
+        for r in records:
+            if r.executable:
+                assert r.parallel_time > 0 and r.avg_maps >= 1.0
+            else:
+                assert math.isinf(r.parallel_time)
+
+    def test_min_mem_consistency(self, records):
+        for r in records:
+            assert r.executable == (r.min_mem <= r.capacity)
+
+    def test_mpo_extends_executability(self, records):
+        by = {(r.heuristic, r.procs, r.fraction): r for r in records}
+        # wherever RCP runs, capacity >= its MIN_MEM; MPO's MIN_MEM never
+        # exceeds RCP's on this workload
+        for p in (4, 8):
+            assert by[("mpo", p, 1.0)].min_mem <= by[("rcp", p, 1.0)].min_mem
+
+
+class TestCSV:
+    def test_header(self, records):
+        text = to_csv(records)
+        assert text.splitlines()[0] == ",".join(FIELDS)
+
+    def test_roundtrip(self, records):
+        text = to_csv(records)
+        back = from_csv(text)
+        assert len(back) == len(records)
+        for a, b in zip(records, back):
+            assert a.workload == b.workload and a.procs == b.procs
+            assert a.executable == b.executable
+            if a.executable:
+                assert a.parallel_time == pytest.approx(b.parallel_time)
+            else:
+                assert math.isinf(b.parallel_time)
+
+    def test_file_output(self, records, tmp_path):
+        out = tmp_path / "sweep.csv"
+        to_csv(records, path=str(out))
+        assert out.exists()
+        assert len(from_csv(out.read_text())) == len(records)

@@ -1,0 +1,35 @@
+"""The replication scorecard must pass in full on this machine."""
+
+import pytest
+
+from repro.experiments import ExperimentContext
+from repro.experiments.validate import render_scorecard, validate
+
+
+@pytest.fixture(scope="module")
+def claims():
+    return validate(ExperimentContext())
+
+
+class TestScorecard:
+    def test_all_claims_pass(self, claims):
+        failed = [c for c in claims if not c.passed]
+        assert not failed, render_scorecard(failed)
+
+    def test_coverage(self, claims):
+        """Every table/figure of the paper appears in the scorecard."""
+        sources = " ".join(c.source for c in claims)
+        for ref in ("Table 1", "Table 2", "Table 4", "Table 5", "Table 6",
+                    "Table 7", "Fig. 7", "Fig. 5", "Fig. 3", "Thm. 2"):
+            assert ref in sources
+
+    def test_render(self, claims):
+        text = render_scorecard(claims)
+        assert "PASS" in text
+        assert f"{len(claims)}/{len(claims)} claims reproduced" in text
+
+    def test_cli_exit_code(self, capsys):
+        from repro.cli import main
+
+        assert main(["validate"]) == 0
+        assert "Replication scorecard" in capsys.readouterr().out

@@ -1,0 +1,105 @@
+"""Unit tests for graph analyses (levels, critical path, stats)."""
+
+import pytest
+
+from repro.graph import GraphBuilder
+from repro.graph.analysis import (
+    b_levels,
+    critical_path_length,
+    depth,
+    graph_stats,
+    has_path,
+    is_topological,
+    level_sets,
+    mapped_edge_cost,
+    reachable_from,
+    size_edge_cost,
+    t_levels,
+    uniform_edge_cost,
+    zero_edge_cost,
+)
+from repro.graph.generators import chain, fork_join, in_tree
+
+
+class TestLevels:
+    def test_chain_blevels(self):
+        g = chain(4)
+        bl = b_levels(g)
+        assert bl["T0"] == 4 and bl["T3"] == 1
+
+    def test_chain_tlevels(self):
+        g = chain(4)
+        tl = t_levels(g)
+        assert tl["T0"] == 0 and tl["T3"] == 3
+
+    def test_blevel_with_comm(self):
+        g = chain(3)
+        bl = b_levels(g, uniform_edge_cost(2.0))
+        # T0 -> T1 -> T2 with two messages: 1+2+1+2+1.
+        assert bl["T0"] == 7
+
+    def test_mapped_edge_cost_zeroes_local(self):
+        g = chain(3)
+        assignment = {"T0": 0, "T1": 0, "T2": 1}
+        cost = mapped_edge_cost(assignment, uniform_edge_cost(2.0))
+        bl = b_levels(g, cost)
+        # only T1 -> T2 crosses processors.
+        assert bl["T0"] == 5
+
+    def test_size_edge_cost(self):
+        g = chain(2, size=10)
+        cost = size_edge_cost(g, latency=1.0, byte_time=0.5)
+        assert cost("T0", "T1", frozenset(["d0"])) == pytest.approx(6.0)
+        assert cost("T0", "T1", frozenset()) == 0.0
+
+    def test_zero_edge_cost(self):
+        assert zero_edge_cost("a", "b", frozenset(["x"])) == 0.0
+
+
+class TestCriticalPath:
+    def test_chain(self):
+        assert critical_path_length(chain(5)) == 5
+
+    def test_fork_join(self):
+        g = fork_join(1, 4)
+        # fork -> mid -> join.
+        assert critical_path_length(g) == 3
+
+    def test_weighted(self):
+        g = chain(3, weight=2.5)
+        assert critical_path_length(g) == pytest.approx(7.5)
+
+
+class TestStructure:
+    def test_depth(self):
+        assert depth(chain(6)) == 6
+        assert depth(in_tree(3)) == 3
+
+    def test_level_sets(self):
+        g = fork_join(1, 3)
+        levels = level_sets(g)
+        assert [len(l) for l in levels] == [1, 3, 1]
+
+    def test_reachable(self):
+        g = chain(4)
+        assert reachable_from(g, ["T1"]) == {"T1", "T2", "T3"}
+
+    def test_has_path(self):
+        g = fork_join(1, 2)
+        assert has_path(g, "fork0", "join0")
+        assert not has_path(g, "mid0_0", "mid0_1")
+        assert has_path(g, "mid0_0", "mid0_0")
+
+    def test_is_topological(self):
+        g = chain(3)
+        assert is_topological(g, ["T0", "T1", "T2"])
+        assert not is_topological(g, ["T1", "T0", "T2"])
+        assert not is_topological(g, ["T0", "T1"])
+
+    def test_graph_stats(self):
+        g = chain(4)
+        s = graph_stats(g)
+        assert s["tasks"] == 4 and s["edges"] == 3
+        assert s["critical_path"] == 4
+        assert s["parallelism"] == pytest.approx(1.0)
+        assert s["S1"] == 4

@@ -1,0 +1,209 @@
+"""Unit tests for the inspector-style GraphBuilder."""
+
+import pytest
+
+from repro.errors import DependenceError, GraphError
+from repro.graph import GraphBuilder, is_source_task, source_task_name
+
+
+def build(mode="transform", materialize=False):
+    return GraphBuilder(materialize_inputs=materialize, dependence_mode=mode)
+
+
+class TestTrueDependences:
+    def test_writer_to_reader(self):
+        b = build()
+        b.add_object("a")
+        b.add_object("b")
+        b.add_task("w", writes=("a",))
+        b.add_task("r", reads=("a",), writes=("b",))
+        g = b.build()
+        assert g.has_edge("w", "r")
+        assert g.edge_objects("w", "r") == {"a"}
+
+    def test_last_writer_wins(self):
+        b = build()
+        b.add_object("a")
+        b.add_task("w1", writes=("a",))
+        b.add_task("w2", reads=("a",), writes=("a",))
+        b.add_task("r", reads=("a",))
+        g = b.build()
+        assert g.has_edge("w2", "r")
+        assert not g.has_edge("w1", "r")
+
+    def test_rmw_chain(self):
+        b = build()
+        b.add_object("a")
+        b.add_task("w1", writes=("a",))
+        b.add_task("w2", reads=("a",), writes=("a",))
+        b.add_task("w3", reads=("a",), writes=("a",))
+        g = b.build()
+        assert g.has_edge("w1", "w2") and g.has_edge("w2", "w3")
+        assert not g.has_edge("w1", "w3")
+
+    def test_multiple_readers(self):
+        b = build()
+        b.add_object("a")
+        b.add_task("w", writes=("a",))
+        b.add_task("r1", reads=("a",))
+        b.add_task("r2", reads=("a",))
+        g = b.build()
+        assert g.has_edge("w", "r1") and g.has_edge("w", "r2")
+        assert not g.has_edge("r1", "r2")
+
+
+class TestTransformedDependences:
+    def test_output_dep_becomes_sync_edge(self):
+        """Write-after-write without a read gets a data-less sync edge."""
+        b = build("transform")
+        b.add_object("a")
+        b.add_task("w1", writes=("a",))
+        b.add_task("w2", writes=("a",))
+        g = b.build()
+        assert g.has_edge("w1", "w2")
+        assert g.edge_objects("w1", "w2") == frozenset()
+
+    def test_anti_dep_becomes_sync_edge(self):
+        b = build("transform")
+        b.add_object("a")
+        b.add_object("b")
+        b.add_task("w1", writes=("a",))
+        b.add_task("r", reads=("a",), writes=("b",))
+        b.add_task("w2", writes=("a",))
+        g = b.build()
+        assert g.has_edge("r", "w2")
+        assert g.edge_objects("r", "w2") == frozenset()
+
+    def test_subsumed_output_dep_not_duplicated(self):
+        """RMW writers already have a true edge; no sync edge is added."""
+        b = build("transform")
+        b.add_object("a")
+        b.add_task("w1", writes=("a",))
+        b.add_task("w2", reads=("a",), writes=("a",))
+        g = b.build()
+        assert g.edge_objects("w1", "w2") == {"a"}
+
+    def test_check_mode_raises(self):
+        b = build("check")
+        b.add_object("a")
+        b.add_task("w1", writes=("a",))
+        with pytest.raises(DependenceError):
+            b.add_task("w2", writes=("a",))
+
+    def test_ignore_mode_drops(self):
+        b = build("ignore")
+        b.add_object("a")
+        b.add_task("w1", writes=("a",))
+        b.add_task("w2", writes=("a",))
+        g = b.build()
+        assert not g.has_edge("w1", "w2")
+
+
+class TestMaterializedInputs:
+    def test_source_task_created(self):
+        b = build(materialize=True)
+        b.add_object("a")
+        b.add_task("r", reads=("a",))
+        g = b.build()
+        src = source_task_name("a")
+        assert g.has_task(src)
+        assert is_source_task(src)
+        assert g.has_edge(src, "r")
+        assert g.task(src).weight == 0.0
+
+    def test_source_created_once(self):
+        b = build(materialize=True)
+        b.add_object("a")
+        b.add_task("r1", reads=("a",))
+        b.add_task("r2", reads=("a",))
+        g = b.build()
+        assert g.num_tasks == 3
+
+    def test_no_source_when_written_first(self):
+        b = build(materialize=True)
+        b.add_object("a")
+        b.add_task("w", writes=("a",))
+        b.add_task("r", reads=("a",))
+        g = b.build()
+        assert not g.has_task(source_task_name("a"))
+
+    def test_read_before_write_no_materialize(self):
+        b = build(materialize=False)
+        b.add_object("a")
+        b.add_task("r", reads=("a",))
+        g = b.build()
+        assert g.in_degree("r") == 0
+
+
+class TestCommutingGroups:
+    def grp(self):
+        b = build()
+        b.add_object("acc")
+        b.add_object("x")
+        b.add_object("y")
+        b.add_task("init", writes=("acc",))
+        b.add_task("px", writes=("x",))
+        b.add_task("py", writes=("y",))
+        b.add_task("u1", reads=("x", "acc"), writes=("acc",), commute="g")
+        b.add_task("u2", reads=("y", "acc"), writes=("acc",), commute="g")
+        b.add_task("r", reads=("acc",))
+        return b.build()
+
+    def test_no_edges_between_members(self):
+        g = self.grp()
+        assert not g.has_edge("u1", "u2") and not g.has_edge("u2", "u1")
+
+    def test_members_depend_on_base(self):
+        g = self.grp()
+        assert g.has_edge("init", "u1") and g.has_edge("init", "u2")
+
+    def test_reader_depends_on_all_members(self):
+        g = self.grp()
+        assert g.has_edge("u1", "r") and g.has_edge("u2", "r")
+
+    def test_group_closed_by_writer(self):
+        """A non-member writer closes the group and depends on every
+        member (true edge via its read)."""
+        b = build()
+        b.add_object("acc")
+        b.add_task("init", writes=("acc",))
+        b.add_task("u1", reads=("acc",), writes=("acc",), commute="g")
+        b.add_task("u2", reads=("acc",), writes=("acc",), commute="g")
+        b.add_task("w", reads=("acc",), writes=("acc",))  # not in group
+        g = b.build()
+        assert g.has_edge("u1", "w") and g.has_edge("u2", "w")
+
+    def test_group_reopen_rejected(self):
+        b = build()
+        b.add_object("acc")
+        b.add_task("init", writes=("acc",))
+        b.add_task("u1", reads=("acc",), writes=("acc",), commute="g")
+        b.add_task("w", reads=("acc",), writes=("acc",))
+        with pytest.raises(GraphError):
+            b.add_task("u2", reads=("acc",), writes=("acc",), commute="g")
+
+    def test_two_groups_different_objects(self):
+        b = build()
+        b.add_object("a")
+        b.add_object("b")
+        b.add_task("ia", writes=("a",))
+        b.add_task("ib", writes=("b",))
+        b.add_task("ua", reads=("a",), writes=("a",), commute="ga")
+        b.add_task("ub", reads=("b",), writes=("b",), commute="gb")
+        g = b.build()
+        assert not g.has_edge("ua", "ub") and not g.has_edge("ub", "ua")
+
+
+class TestBuilderLifecycle:
+    def test_no_add_after_build(self):
+        b = build()
+        b.add_object("a")
+        b.build()
+        with pytest.raises(GraphError):
+            b.add_task("t", writes=("a",))
+
+    def test_build_freezes(self):
+        b = build()
+        b.add_object("a")
+        g = b.build()
+        assert g.frozen

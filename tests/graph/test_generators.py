@@ -1,0 +1,97 @@
+"""Unit tests for the synthetic DAG generators."""
+
+import pytest
+
+from repro.graph import generators as gen
+from repro.graph.analysis import depth, is_topological
+
+
+class TestChain:
+    def test_shape(self):
+        g = gen.chain(5)
+        assert g.num_tasks == 5 and g.num_edges == 4
+        assert depth(g) == 5
+
+
+class TestForkJoin:
+    def test_shape(self):
+        g = gen.fork_join(2, 3)
+        assert g.num_tasks == 2 * (1 + 3 + 1)
+        assert depth(g) == 6
+
+    def test_stage_linking(self):
+        g = gen.fork_join(2, 2)
+        assert g.has_edge("join0", "fork1")
+
+
+class TestTrees:
+    def test_out_tree(self):
+        g = gen.out_tree(3)
+        assert g.num_tasks == 7
+        assert len(g.exit_tasks()) == 4
+
+    def test_in_tree(self):
+        g = gen.in_tree(3)
+        assert g.num_tasks == 7
+        assert g.exit_tasks() == ["T0"]
+        assert len(g.entry_tasks()) == 4
+
+
+class TestReductionTree:
+    def test_commute_group(self):
+        g = gen.reduction_tree(4)
+        groups = g.commute_groups()
+        assert len(groups["acc-sum"]) == 4
+        # final reads after all adds
+        for i in range(4):
+            assert g.has_edge(f"add{i}", "final")
+
+    def test_no_intra_group_edges(self):
+        g = gen.reduction_tree(4)
+        for i in range(4):
+            for j in range(4):
+                if i != j:
+                    assert not g.has_edge(f"add{i}", f"add{j}")
+
+
+class TestLayeredRandom:
+    def test_deterministic(self):
+        g1 = gen.layered_random(4, 5, seed=11)
+        g2 = gen.layered_random(4, 5, seed=11)
+        assert sorted(g1.task_names) == sorted(g2.task_names)
+        assert sorted((u, v) for u, v, _ in g1.edges()) == sorted(
+            (u, v) for u, v, _ in g2.edges()
+        )
+
+    def test_layer_structure(self):
+        g = gen.layered_random(4, 5, seed=0)
+        assert g.num_tasks == 20
+        assert depth(g) == 4
+
+    def test_bad_density(self):
+        with pytest.raises(ValueError):
+            gen.layered_random(2, 2, density=0.0)
+
+    def test_mixed_granularity(self):
+        g = gen.layered_random(4, 8, seed=1, min_weight=1, max_weight=10)
+        weights = {t.weight for t in g.tasks()}
+        assert max(weights) / min(weights) > 1.5
+
+
+class TestRandomTrace:
+    def test_is_dag(self):
+        g = gen.random_trace(50, 10, seed=4)
+        assert is_topological(g, g.topological_order())
+
+    def test_deterministic(self):
+        g1 = gen.random_trace(30, 8, seed=9)
+        g2 = gen.random_trace(30, 8, seed=9)
+        assert g1.num_edges == g2.num_edges
+
+    def test_sources_materialized(self):
+        g = gen.random_trace(30, 8, seed=2)
+        # every read has a producer
+        produced = {m for t in g.tasks() for m in t.writes}
+        for t in g.tasks():
+            for m in t.reads:
+                assert m in produced

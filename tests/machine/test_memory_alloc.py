@@ -1,0 +1,115 @@
+"""Unit tests for the simulated memory allocators."""
+
+import pytest
+
+from repro.errors import MemoryError_
+from repro.machine import FreeListAllocator, ObjectAllocator
+
+
+class TestObjectAllocator:
+    def test_alloc_free(self):
+        a = ObjectAllocator(10)
+        a.alloc("x", 4)
+        assert a.used == 4 and a.is_allocated("x")
+        assert a.free("x") == 4
+        assert a.used == 0 and not a.is_allocated("x")
+
+    def test_capacity_enforced(self):
+        a = ObjectAllocator(10)
+        a.alloc("x", 8)
+        with pytest.raises(MemoryError_):
+            a.alloc("y", 3)
+
+    def test_double_alloc(self):
+        a = ObjectAllocator(10)
+        a.alloc("x", 1)
+        with pytest.raises(MemoryError_):
+            a.alloc("x", 1)
+
+    def test_free_unknown(self):
+        a = ObjectAllocator(10)
+        with pytest.raises(MemoryError_):
+            a.free("x")
+
+    def test_peak_tracking(self):
+        a = ObjectAllocator(10)
+        a.alloc("x", 6)
+        a.free("x")
+        a.alloc("y", 3)
+        assert a.peak == 6
+
+    def test_would_fit(self):
+        a = ObjectAllocator(10)
+        a.alloc("x", 6)
+        assert a.would_fit(4) and not a.would_fit(5)
+
+    def test_contains_len_free_bytes(self):
+        a = ObjectAllocator(10)
+        a.alloc("x", 6)
+        assert "x" in a and len(a) == 1 and a.free_bytes == 4
+
+    def test_negative_size(self):
+        a = ObjectAllocator(10)
+        with pytest.raises(MemoryError_):
+            a.alloc("x", -1)
+
+
+class TestFreeListAllocator:
+    def test_alloc_addresses(self):
+        a = FreeListAllocator(100)
+        assert a.alloc("x", 10) == 0
+        assert a.alloc("y", 10) == 10
+
+    def test_free_and_reuse(self):
+        a = FreeListAllocator(100)
+        a.alloc("x", 10)
+        a.alloc("y", 10)
+        a.free("x")
+        assert a.alloc("z", 10) == 0  # first fit reuses the hole
+
+    def test_coalescing(self):
+        a = FreeListAllocator(30)
+        a.alloc("x", 10)
+        a.alloc("y", 10)
+        a.alloc("z", 10)
+        a.free("x")
+        a.free("z")
+        a.free("y")  # coalesces with both neighbours
+        assert a.largest_free_extent == 30
+
+    def test_fragmentation_failure(self):
+        """Enough bytes free but no extent large enough — the problem the
+        paper's conclusion describes."""
+        a = FreeListAllocator(30)
+        a.alloc("a", 10)
+        a.alloc("b", 10)
+        a.alloc("c", 10)
+        a.free("a")
+        a.free("c")
+        with pytest.raises(MemoryError_):
+            a.alloc("big", 15)
+        assert a.failed_fragmented == 1
+        assert a.fragmentation() > 0
+
+    def test_out_of_memory(self):
+        a = FreeListAllocator(10)
+        with pytest.raises(MemoryError_):
+            a.alloc("x", 11)
+
+    def test_zero_size(self):
+        a = FreeListAllocator(10)
+        a.alloc("x", 0)
+        a.free("x")
+
+    def test_double_alloc(self):
+        a = FreeListAllocator(10)
+        a.alloc("x", 1)
+        with pytest.raises(MemoryError_):
+            a.alloc("x", 1)
+
+    def test_peak(self):
+        a = FreeListAllocator(100)
+        a.alloc("x", 60)
+        a.free("x")
+        a.alloc("y", 30)
+        assert a.peak == 60

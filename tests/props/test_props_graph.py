@@ -1,0 +1,78 @@
+"""Property tests for the graph builder and analyses."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.graph import generators as gen
+from repro.graph.analysis import b_levels, depth, is_topological, t_levels
+
+graph_params = st.tuples(
+    st.integers(5, 60),  # tasks
+    st.integers(2, 12),  # objects
+    st.integers(0, 10_000),  # seed
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(graph_params)
+def test_random_trace_is_topological_dag(params):
+    """The builder always produces a DAG whose trace order is valid."""
+    n, m, seed = params
+    g = gen.random_trace(n, m, seed=seed)
+    assert is_topological(g, g.topological_order())
+    # Among real (non-source) tasks, dependencies only ever point
+    # forward in the trace.  (Implicit source tasks are registered
+    # lazily, right after their first reader, so the raw insertion order
+    # is not topological for them.)
+    from repro.graph import is_source_task
+
+    pos = {t: i for i, t in enumerate(g.task_names)}
+    for u, v, _ in g.edges():
+        if not is_source_task(u) and not is_source_task(v):
+            assert pos[u] < pos[v]
+
+
+@settings(max_examples=40, deadline=None)
+@given(graph_params)
+def test_every_read_has_producer(params):
+    n, m, seed = params
+    g = gen.random_trace(n, m, seed=seed)
+    produced = {o for t in g.tasks() for o in t.writes}
+    for t in g.tasks():
+        for o in t.reads:
+            assert o in produced
+
+
+@settings(max_examples=40, deadline=None)
+@given(graph_params)
+def test_level_identities(params):
+    """blevel(t) + tlevel(t) <= critical path; entry tasks have tlevel 0."""
+    n, m, seed = params
+    g = gen.random_trace(n, m, seed=seed)
+    bl = b_levels(g)
+    tl = t_levels(g)
+    cp = max(bl.values())
+    for t in g.tasks():
+        assert tl[t.name] + bl[t.name] <= cp + 1e-9
+    for e in g.entry_tasks():
+        assert tl[e] == 0.0
+
+
+@settings(max_examples=40, deadline=None)
+@given(graph_params)
+def test_depth_bounds(params):
+    n, m, seed = params
+    g = gen.random_trace(n, m, seed=seed)
+    d = depth(g)
+    assert 1 <= d <= g.num_tasks
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(1, 16), st.integers(0, 1000))
+def test_reduction_tree_group_size(leaves, seed):
+    g = gen.reduction_tree(leaves)
+    groups = g.commute_groups()
+    assert len(groups["acc-sum"]) == leaves
+    # no edges among members
+    members = set(groups["acc-sum"])
+    for u, v, _ in g.edges():
+        assert not (u in members and v in members)

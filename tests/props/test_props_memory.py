@@ -1,0 +1,93 @@
+"""Model-based property tests of the memory allocators."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import MemoryError_
+from repro.machine import FreeListAllocator, ObjectAllocator
+
+#: A random program of alloc/free operations: (op, name index, size).
+ops = st.lists(
+    st.tuples(st.booleans(), st.integers(0, 9), st.integers(0, 40)),
+    min_size=1,
+    max_size=60,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops, st.integers(10, 200))
+def test_object_allocator_model(program, capacity):
+    """used == sum of live sizes, never exceeds capacity, peak is max."""
+    a = ObjectAllocator(capacity)
+    live: dict[str, int] = {}
+    peak = 0
+    for is_alloc, idx, size in program:
+        name = f"o{idx}"
+        if is_alloc:
+            try:
+                a.alloc(name, size)
+            except MemoryError_:
+                # must be a double alloc or capacity overflow
+                assert name in live or sum(live.values()) + size > capacity
+            else:
+                assert name not in live
+                assert sum(live.values()) + size <= capacity
+                live[name] = size
+        else:
+            try:
+                freed = a.free(name)
+            except MemoryError_:
+                assert name not in live
+            else:
+                assert freed == live.pop(name)
+        peak = max(peak, sum(live.values()))
+        assert a.used == sum(live.values())
+    assert a.peak == peak
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops, st.integers(10, 200))
+def test_freelist_blocks_never_overlap(program, capacity):
+    """Live blocks are disjoint; used+free == capacity; coalescing keeps
+    the free list consistent."""
+    a = FreeListAllocator(capacity)
+    live: dict[str, tuple[int, int]] = {}
+    for is_alloc, idx, size in program:
+        name = f"o{idx}"
+        if is_alloc:
+            try:
+                start = a.alloc(name, size)
+            except MemoryError_:
+                pass
+            else:
+                if size > 0:
+                    for s2, l2 in live.values():
+                        assert start + size <= s2 or s2 + l2 <= start
+                    live[name] = (start, size)
+        else:
+            try:
+                a.free(name)
+            except MemoryError_:
+                assert name not in live
+            else:
+                live.pop(name, None)
+        assert a.used == sum(l for _s, l in live.values())
+        assert a.used + a.free_bytes == capacity
+        assert a.largest_free_extent <= a.free_bytes
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.integers(1, 20), min_size=1, max_size=20), st.integers(50, 400))
+def test_freelist_full_free_restores_one_extent(sizes, capacity):
+    """Allocating then freeing everything coalesces back to one extent."""
+    a = FreeListAllocator(capacity)
+    done = []
+    for i, s in enumerate(sizes):
+        try:
+            a.alloc(f"b{i}", s)
+            done.append(f"b{i}")
+        except MemoryError_:
+            break
+    for name in done:
+        a.free(name)
+    assert a.used == 0
+    assert a.largest_free_extent == capacity

@@ -1,0 +1,70 @@
+"""Property tests for graph repetition and renaming transformations."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import analyze_memory, cyclic_placement, mpo_order, owner_compute_assignment
+from repro.graph import generators as gen
+from repro.graph.analysis import is_topological
+from repro.graph.builder import is_source_task
+from repro.graph.renaming import rename_versions
+from repro.graph.repeat import repeat_graph, repeat_schedule
+
+params = st.tuples(
+    st.integers(8, 30),
+    st.integers(3, 8),
+    st.integers(0, 10_000),
+)
+
+
+def real_tasks(g):
+    return [t for t in g.task_names if not is_source_task(t)]
+
+
+@settings(max_examples=25, deadline=None)
+@given(params, st.integers(1, 4))
+def test_repeat_task_count_and_dag(ps, n):
+    num, m, seed = ps
+    g = gen.random_trace(num, m, seed=seed)
+    rg = repeat_graph(g, n)
+    assert len(real_tasks(rg)) == n * len(real_tasks(g))
+    assert rg.num_objects == g.num_objects
+    assert is_topological(rg, rg.topological_order())
+
+
+@settings(max_examples=20, deadline=None)
+@given(params, st.integers(2, 4), st.integers(2, 4))
+def test_repeat_min_mem_stable(ps, n, p):
+    """Unrolling an iteration does not inflate MIN_MEM (volatile
+    lifetimes recycle across iteration boundaries)."""
+    num, m, seed = ps
+    g = gen.random_trace(num, m, seed=seed)
+    pl = cyclic_placement(g, p)
+    asg = owner_compute_assignment(g, pl)
+    s1 = mpo_order(g, pl, asg)
+    m2 = analyze_memory(repeat_schedule(s1, 2)).min_mem
+    mn = analyze_memory(repeat_schedule(s1, n)).min_mem
+    assert mn == m2
+
+
+@settings(max_examples=25, deadline=None)
+@given(params, st.integers(1, 3))
+def test_rename_is_dag_with_duplicated_objects(ps, k):
+    num, m, seed = ps
+    g = gen.random_trace(num, m, seed=seed)
+    r = rename_versions(g, buffers=k)
+    assert is_topological(r, r.topological_order())
+    assert r.num_objects >= g.num_objects
+    if k == 1:
+        assert r.num_objects == g.num_objects
+
+
+@settings(max_examples=25, deadline=None)
+@given(params)
+def test_rename_preserves_real_task_set(ps):
+    num, m, seed = ps
+    g = gen.random_trace(num, m, seed=seed)
+    r = rename_versions(g, buffers=2)
+    assert sorted(real_tasks(r)) == sorted(real_tasks(g))
+    # weights preserved
+    for t in real_tasks(g):
+        assert r.task(t).weight == g.task(t).weight

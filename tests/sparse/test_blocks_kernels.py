@@ -1,0 +1,137 @@
+"""Direct unit tests for block partition helpers and dense kernels."""
+
+import numpy as np
+import pytest
+import scipy.linalg as sla
+
+from repro.sparse.blocks import (
+    BlockPartition,
+    block_col_pattern,
+    block_nnz_2d,
+    lu_update_pattern,
+    panel_nnz_1d,
+)
+from repro.sparse.kernels import (
+    gemm_flops,
+    gemm_update,
+    lu_factor_flops,
+    lu_factor_panel,
+    lu_update_flops,
+    lu_update_panel,
+    potrf,
+    potrf_flops,
+    trsm_flops,
+    trsm_lower,
+)
+
+
+def pattern(entries, n):
+    """Column pattern list from (i, j) entry set."""
+    cols = [[] for _ in range(n)]
+    for i, j in entries:
+        cols[j].append(i)
+    return [np.array(sorted(c), dtype=np.int64) for c in cols]
+
+
+class TestBlockHelpers:
+    def test_block_nnz_2d(self):
+        # entries: (0,0),(1,0),(3,1),(3,3) with w=2
+        cols = pattern({(0, 0), (1, 0), (3, 1), (3, 3)}, 4)
+        part = BlockPartition(4, 2)
+        nnz = block_nnz_2d(cols, part)
+        # (0,0) and (1,0) fall in block (0,0); (3,1) in block (1,0);
+        # (3,3) in block (1,1).
+        assert nnz == {(0, 0): 2, (1, 0): 1, (1, 1): 1}
+
+    def test_block_col_pattern(self):
+        cols = pattern({(0, 0), (2, 0), (3, 1), (3, 3)}, 4)
+        part = BlockPartition(4, 2)
+        pat = block_col_pattern(cols, part)
+        assert pat[0] == [0, 1]  # blocks (0,0) and (1,0)
+        assert pat[1] == [1]
+
+    def test_panel_nnz_1d(self):
+        lower = pattern({(0, 0), (1, 0), (1, 1), (3, 2), (2, 2), (3, 3)}, 4)
+        upper = [c.copy() for c in lower]
+        part = BlockPartition(4, 2)
+        nnz = panel_nnz_1d(lower, upper, part)
+        assert len(nnz) == 2 and all(v > 0 for v in nnz)
+
+    def test_lu_update_pattern(self):
+        # block (1,0) nonzero -> panel 0 updates panel 1
+        cols = pattern({(0, 0), (2, 0), (3, 3), (2, 2)}, 4)
+        part = BlockPartition(4, 2)
+        upd = lu_update_pattern(cols, part)
+        assert upd[0] == [1]
+        assert upd[1] == []
+
+
+class TestCholeskyKernels:
+    def setup_method(self):
+        rng = np.random.default_rng(0)
+        b = rng.normal(size=(4, 4))
+        self.a = b @ b.T + 4 * np.eye(4)
+
+    def test_potrf(self):
+        l = potrf(self.a)
+        assert np.allclose(l @ l.T, self.a)
+        assert np.allclose(np.triu(l, 1), 0)
+
+    def test_trsm_lower(self):
+        l = potrf(self.a)
+        rng = np.random.default_rng(1)
+        a_ik = rng.normal(size=(3, 4))
+        x = trsm_lower(l, a_ik)
+        assert np.allclose(x @ l.T, a_ik)
+
+    def test_gemm_update_in_place(self):
+        rng = np.random.default_rng(2)
+        a_ij = rng.normal(size=(3, 2))
+        before = a_ij.copy()
+        l_ik = rng.normal(size=(3, 4))
+        l_jk = rng.normal(size=(2, 4))
+        gemm_update(a_ij, l_ik, l_jk)
+        assert np.allclose(a_ij, before - l_ik @ l_jk.T)
+
+    def test_flop_counts(self):
+        assert potrf_flops(6) == pytest.approx(72.0)
+        assert trsm_flops(6, 4) == pytest.approx(144.0)
+        assert gemm_flops(2, 3, 4) == pytest.approx(48.0)
+        assert lu_factor_flops(10, 3) == pytest.approx(180.0)
+        assert lu_update_flops(10, 3, 2) == pytest.approx(120.0)
+
+
+class TestLUKernels:
+    def test_factor_matches_scipy_on_full_panel(self):
+        rng = np.random.default_rng(3)
+        n = 6
+        a = rng.normal(size=(n, n)) + np.eye(n) * 0.1
+        panel = {"A": a.copy(), "piv": []}
+        lu_factor_panel(panel, 0, n)
+        lu_ref, piv_ref = sla.lu_factor(a)
+        assert np.allclose(panel["A"], lu_ref)
+        assert [r for _gc, r in panel["piv"]] == list(piv_ref)
+
+    def test_structurally_singular_detected(self):
+        panel = {"A": np.zeros((3, 2)), "piv": []}
+        with pytest.raises(ZeroDivisionError):
+            lu_factor_panel(panel, 0, 2)
+
+    def test_update_equals_dense_elimination(self):
+        """Factor panel 0, update panel 1; the pair must equal a dense
+        getrf of the combined matrix restricted to those columns."""
+        rng = np.random.default_rng(4)
+        n, w = 6, 3
+        a = rng.normal(size=(n, n)) + 0.1 * np.eye(n)
+        p0 = {"A": a[:, :w].copy(), "piv": []}
+        p1 = {"A": a[:, w:].copy(), "piv": []}
+        lu_factor_panel(p0, 0, w)
+        lu_update_panel(p0, p1, 0, w)
+        lu_factor_panel(p1, w, n)
+        m = np.hstack([p0["A"], p1["A"]])
+        # apply later swaps to earlier L columns (LAPACK convention)
+        for gc, r in p1["piv"]:
+            if r != gc:
+                m[[gc, r], :w] = m[[r, gc], :w]
+        ref, piv = sla.lu_factor(a)
+        assert np.allclose(m, ref)

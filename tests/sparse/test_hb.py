@@ -1,0 +1,85 @@
+"""Tests for the Harwell-Boeing file bridge (scipy roundtrip)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.sparse.hb import (
+    is_structurally_symmetric,
+    load_for_experiment,
+    read_harwell_boeing,
+    write_harwell_boeing,
+)
+from repro.sparse.matrices import convection_diffusion_2d, grid_laplacian_2d
+
+
+class TestRoundtrip:
+    def test_symmetric_roundtrip(self, tmp_path):
+        a = grid_laplacian_2d(6)
+        path = tmp_path / "lap.rua"
+        write_harwell_boeing(path, a)
+        b = read_harwell_boeing(path)
+        assert np.allclose(a.toarray(), b.toarray())
+
+    def test_unsymmetric_roundtrip(self, tmp_path):
+        a = convection_diffusion_2d(5, seed=1)
+        path = tmp_path / "cd.rua"
+        write_harwell_boeing(path, a)
+        b = read_harwell_boeing(path)
+        assert np.allclose(a.toarray(), b.toarray())
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            read_harwell_boeing(tmp_path / "nope.rsa")
+
+    def test_triangle_expansion(self, tmp_path):
+        """A file holding only one triangle is expanded symmetrically."""
+        a = grid_laplacian_2d(5)
+        lower = sp.csc_matrix(sp.tril(a))
+        path = tmp_path / "tri.rua"
+        write_harwell_boeing(path, lower)
+        b = read_harwell_boeing(path)
+        assert np.allclose(b.toarray(), a.toarray())
+
+
+class TestHelpers:
+    def test_structural_symmetry(self):
+        assert is_structurally_symmetric(grid_laplacian_2d(4))
+        m = sp.csr_matrix(np.array([[1.0, 2.0], [0.0, 1.0]]))
+        assert not is_structurally_symmetric(m)
+
+    def test_load_for_experiment_auto(self, tmp_path):
+        a = grid_laplacian_2d(5)
+        path = tmp_path / "a.rua"
+        write_harwell_boeing(path, a)
+        out = load_for_experiment(path)
+        w = np.linalg.eigvalsh(out.toarray())
+        assert w.min() > 0  # usable for Cholesky
+
+    def test_load_for_experiment_lu(self, tmp_path):
+        a = convection_diffusion_2d(5, seed=0)
+        path = tmp_path / "b.rua"
+        write_harwell_boeing(path, a)
+        out = load_for_experiment(path, kind="lu")
+        assert np.all(out.diagonal() != 0)
+
+    def test_load_kind_mismatch(self, tmp_path):
+        a = convection_diffusion_2d(5, seed=0)
+        path = tmp_path / "c.rua"
+        write_harwell_boeing(path, a)
+        with pytest.raises(ValueError):
+            load_for_experiment(path, kind="cholesky")
+
+    def test_load_unknown_kind(self, tmp_path):
+        a = grid_laplacian_2d(4)
+        path = tmp_path / "d.rua"
+        write_harwell_boeing(path, a)
+        with pytest.raises(ValueError):
+            load_for_experiment(path, kind="qr")
+
+    def test_indefinite_boosted(self, tmp_path):
+        a = grid_laplacian_2d(4) - sp.eye(16) * 100.0  # indefinite
+        path = tmp_path / "e.rua"
+        write_harwell_boeing(path, sp.csc_matrix(a))
+        out = load_for_experiment(path, kind="cholesky")
+        assert np.linalg.eigvalsh(out.toarray()).min() > 0

@@ -1,0 +1,91 @@
+"""Unit tests for the synthetic matrix suite."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.sparse.matrices import (
+    PAPER_DIMENSIONS,
+    bcsstk15_like,
+    bcsstk24_like,
+    bcsstk33_like,
+    convection_diffusion_2d,
+    goodwin_like,
+    grid_laplacian_2d,
+    grid_laplacian_3d,
+    perturbed_grid_spd,
+    random_spd,
+    truncate,
+)
+
+
+def is_spd(a) -> bool:
+    d = a.toarray()
+    return np.allclose(d, d.T) and np.linalg.eigvalsh(d).min() > 0
+
+
+class TestGenerators:
+    def test_grid_2d_shape(self):
+        a = grid_laplacian_2d(5)
+        assert a.shape == (25, 25)
+        assert is_spd(a)
+
+    def test_grid_2d_9pt(self):
+        a5 = grid_laplacian_2d(6, 5)
+        a9 = grid_laplacian_2d(6, 9)
+        assert a9.nnz > a5.nnz
+        assert is_spd(a9)
+
+    def test_grid_2d_bad_stencil(self):
+        with pytest.raises(ValueError):
+            grid_laplacian_2d(4, stencil=7)
+
+    def test_grid_3d(self):
+        a = grid_laplacian_3d(3)
+        assert a.shape == (27, 27)
+        assert is_spd(a)
+
+    def test_random_spd(self):
+        a = random_spd(40, seed=1)
+        assert is_spd(a)
+
+    def test_perturbed_grid_spd(self):
+        a = perturbed_grid_spd(6, seed=2)
+        assert is_spd(a)
+
+    def test_perturbed_grid_has_long_range_couplings(self):
+        base = grid_laplacian_2d(8)
+        pert = perturbed_grid_spd(8, extra_per_row=1.0, seed=0)
+        assert pert.nnz > base.nnz
+
+    def test_convection_diffusion_unsymmetric(self):
+        a = convection_diffusion_2d(6, seed=3).toarray()
+        assert not np.allclose(a, a.T)
+        assert abs(np.linalg.det(a)) > 0
+
+    def test_determinism(self):
+        a1 = perturbed_grid_spd(6, seed=9)
+        a2 = perturbed_grid_spd(6, seed=9)
+        assert (a1 != a2).nnz == 0
+
+
+class TestStandIns:
+    def test_scaled_sizes(self):
+        a = bcsstk15_like(scale=0.05)
+        assert 100 < a.shape[0] < 400
+
+    def test_all_constructors(self):
+        for fn in (bcsstk15_like, bcsstk24_like, bcsstk33_like):
+            a = fn(scale=0.03)
+            assert is_spd(a)
+        g = goodwin_like(scale=0.01)
+        assert sp.issparse(g)
+
+    def test_paper_dimensions_recorded(self):
+        assert PAPER_DIMENSIONS["goodwin"] == 7320
+
+    def test_truncate(self):
+        a = bcsstk33_like(scale=0.03)
+        t = truncate(a, 50)
+        assert t.shape == (50, 50)
+        assert np.allclose(t.toarray(), a.toarray()[:50, :50])

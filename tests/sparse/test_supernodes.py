@@ -1,0 +1,128 @@
+"""Tests for supernodal / variable partitioning."""
+
+import numpy as np
+import pytest
+
+from repro.core import analyze_memory, dts_order
+from repro.core.dts import dts_space_bound
+from repro.rapid.executor import execute_serial
+from repro.sparse.cholesky import build_cholesky
+from repro.sparse.lu import build_lu
+from repro.sparse.matrices import (
+    convection_diffusion_2d,
+    grid_laplacian_2d,
+    perturbed_grid_spd,
+)
+from repro.sparse.supernodes import (
+    VariablePartition,
+    supernode_partition,
+    supernode_stats,
+    uniform_partition,
+)
+from repro.sparse.symbolic import symbolic_cholesky
+
+
+class TestVariablePartition:
+    def test_basic(self):
+        p = VariablePartition(10, (0, 3, 7, 10))
+        assert p.num_blocks == 3
+        assert p.bounds(1) == (3, 7)
+        assert p.width(2) == 3
+        assert p.max_width == 4
+
+    def test_block_of(self):
+        p = VariablePartition(10, (0, 3, 7, 10))
+        assert [p.block_of(i) for i in (0, 2, 3, 6, 7, 9)] == [0, 0, 1, 1, 2, 2]
+        with pytest.raises(IndexError):
+            p.block_of(10)
+
+    def test_block_of_array(self):
+        p = VariablePartition(10, (0, 3, 7, 10))
+        assert p.block_of_array(np.array([0, 4, 9])).tolist() == [0, 1, 2]
+
+    def test_bad_boundaries(self):
+        with pytest.raises(ValueError):
+            VariablePartition(10, (0, 5))
+        with pytest.raises(ValueError):
+            VariablePartition(10, (1, 10))
+        with pytest.raises(ValueError):
+            VariablePartition(10, (0, 5, 5, 10))
+
+    def test_uniform_partition(self):
+        p = uniform_partition(10, 4)
+        assert p.boundaries == (0, 4, 8, 10)
+        assert p.max_width == 4
+        with pytest.raises(ValueError):
+            uniform_partition(10, 0)
+
+    def test_uniform_exact_multiple(self):
+        p = uniform_partition(8, 4)
+        assert p.boundaries == (0, 4, 8)
+
+
+class TestSupernodeDetection:
+    def test_dense_pattern_one_supernode(self):
+        """A fully dense lower pattern is a single supernode (capped)."""
+        n = 6
+        cols = [np.arange(j, n) for j in range(n)]
+        p = supernode_partition(cols, max_width=n)
+        assert p.num_blocks == 1 and p.max_width == n
+
+    def test_max_width_cap(self):
+        n = 6
+        cols = [np.arange(j, n) for j in range(n)]
+        p = supernode_partition(cols, max_width=2)
+        assert p.max_width == 2 and p.num_blocks == 3
+
+    def test_diagonal_pattern_all_singletons(self):
+        cols = [np.array([j]) for j in range(5)]
+        p = supernode_partition(cols)
+        assert p.num_blocks == 5
+
+    def test_grid_laplacian(self):
+        cols, _ = symbolic_cholesky(grid_laplacian_2d(6))
+        p = supernode_partition(cols)
+        assert p.n == 36
+        s = supernode_stats(p)
+        assert s["max_width"] >= 1
+        # partition covers all columns contiguously
+        assert sum(p.width(b) for b in range(p.num_blocks)) == 36
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            supernode_partition([])
+
+
+class TestSupernodalFactorizations:
+    def test_cholesky_numeric(self):
+        prob = build_cholesky(
+            perturbed_grid_spd(8, seed=2), block_size=10, partition="supernodal"
+        )
+        store = prob.initial_store()
+        execute_serial(prob.graph, store)
+        assert prob.factor_error(store) < 1e-10
+
+    def test_lu_numeric(self):
+        prob = build_lu(
+            convection_diffusion_2d(7, seed=1), block_size=10, partition="supernodal"
+        )
+        store = prob.initial_store()
+        execute_serial(prob.graph, store)
+        assert prob.factor_error(store) < 1e-10
+
+    def test_unknown_partition(self):
+        with pytest.raises(ValueError):
+            build_cholesky(grid_laplacian_2d(4), partition="magic")
+        with pytest.raises(ValueError):
+            build_lu(grid_laplacian_2d(4), partition="magic")
+
+    def test_corollary2_with_structural_w(self):
+        """Theorem 2 under the structure-driven partition: the DTS bound
+        uses the actual largest column block, Corollary 2's ``w``."""
+        prob = build_lu(
+            convection_diffusion_2d(7, seed=3), block_size=8, partition="supernodal"
+        )
+        pl = prob.placement(3)
+        asg = prob.assignment(pl)
+        s = dts_order(prob.graph, pl, asg)
+        assert analyze_memory(s).min_mem <= dts_space_bound(prob.graph, pl, asg)

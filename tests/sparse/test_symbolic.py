@@ -1,0 +1,177 @@
+"""Unit tests for ordering, etree and symbolic factorization."""
+
+import numpy as np
+import pytest
+import scipy.linalg as sla
+
+from repro.sparse.etree import elimination_tree, postorder, tree_depths, tree_height
+from repro.sparse.matrices import (
+    convection_diffusion_2d,
+    grid_laplacian_2d,
+    perturbed_grid_spd,
+    random_spd,
+)
+from repro.sparse.ordering import (
+    apply_ordering,
+    minimum_degree,
+    natural,
+    order_matrix,
+    rcm,
+)
+from repro.sparse.symbolic import (
+    cholesky_flops,
+    fill_nnz,
+    pattern_to_csc,
+    symbolic_cholesky,
+    symbolic_lu_static,
+)
+
+
+def brute_force_fill(a):
+    """Reference right-looking symbolic elimination."""
+    n = a.shape[0]
+    d = ((a + a.T).toarray() != 0)
+    cols = [set(np.nonzero(d[j:, j])[0] + j) | {j} for j in range(n)]
+    for k in range(n):
+        below = sorted(x for x in cols[k] if x > k)
+        for j in below:
+            cols[j].update(x for x in below if x >= j)
+    return cols
+
+
+class TestOrdering:
+    def test_md_is_permutation(self):
+        a = perturbed_grid_spd(7, seed=1)
+        p = minimum_degree(a)
+        assert sorted(p.tolist()) == list(range(a.shape[0]))
+
+    def test_rcm_is_permutation(self):
+        a = perturbed_grid_spd(7, seed=1)
+        p = rcm(a)
+        assert sorted(p.tolist()) == list(range(a.shape[0]))
+
+    def test_md_reduces_fill(self):
+        a = grid_laplacian_2d(10)
+        f_nat = fill_nnz(symbolic_cholesky(a)[0])
+        f_md = fill_nnz(symbolic_cholesky(apply_ordering(a, minimum_degree(a)))[0])
+        assert f_md < f_nat
+
+    def test_order_matrix_dispatch(self):
+        a = grid_laplacian_2d(5)
+        for m in ("md", "rcm", "natural"):
+            am, perm = order_matrix(a, m)
+            assert am.shape == a.shape
+        with pytest.raises(ValueError):
+            order_matrix(a, "nope")
+
+    def test_natural(self):
+        a = grid_laplacian_2d(4)
+        assert (natural(a) == np.arange(16)).all()
+
+    def test_apply_ordering_symmetric(self):
+        a = perturbed_grid_spd(5, seed=0)
+        perm = minimum_degree(a)
+        am = apply_ordering(a, perm)
+        assert np.allclose(am.toarray(), am.toarray().T)
+
+
+class TestEtree:
+    def test_parent_is_forest(self):
+        a = grid_laplacian_2d(6)
+        parent = elimination_tree(a)
+        # parents point forward (upper triangular structure)
+        for v, p in enumerate(parent):
+            assert p == -1 or p > v
+
+    def test_postorder_children_first(self):
+        a = grid_laplacian_2d(6)
+        parent = elimination_tree(a)
+        po = postorder(parent)
+        pos = {int(v): i for i, v in enumerate(po)}
+        for v, p in enumerate(parent):
+            if p != -1:
+                assert pos[v] < pos[int(p)]
+
+    def test_depths_and_height(self):
+        a = grid_laplacian_2d(6)
+        parent = elimination_tree(a)
+        d = tree_depths(parent)
+        assert tree_height(parent) == d.max() + 1
+        roots = [v for v, p in enumerate(parent) if p == -1]
+        assert all(d[r] == 0 for r in roots)
+
+
+class TestSymbolicCholesky:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_brute_force(self, seed):
+        a = perturbed_grid_spd(6, seed=seed)
+        cols, _ = symbolic_cholesky(a)
+        bf = brute_force_fill(a)
+        for j in range(a.shape[0]):
+            assert set(map(int, cols[j])) == bf[j]
+
+    def test_contains_numeric_pattern(self):
+        a = perturbed_grid_spd(7, seed=3)
+        cols, _ = symbolic_cholesky(a)
+        l = np.linalg.cholesky(a.toarray())
+        for j in range(a.shape[0]):
+            num = set(np.nonzero(np.abs(l[:, j]) > 1e-14)[0])
+            assert num <= set(map(int, cols[j]))
+
+    def test_pattern_to_csc(self):
+        a = grid_laplacian_2d(4)
+        cols, _ = symbolic_cholesky(a)
+        m = pattern_to_csc(cols, a.shape[0])
+        assert m.nnz == fill_nnz(cols)
+
+    def test_flops_positive(self):
+        a = grid_laplacian_2d(5)
+        cols, _ = symbolic_cholesky(a)
+        assert cholesky_flops(cols) >= fill_nnz(cols)
+
+
+class TestStaticLU:
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_george_ng_bound_contains_u(self, seed):
+        """George-Ng: struct(U) of PA = LU is contained in the Cholesky
+        pattern of AtA for *any* partial pivoting.  (The L factor's rows
+        live in permuted order, so a same-index containment claim is not
+        meaningful for it — the update-pruning logic of the 1-D LU
+        builder only relies on the U side.)"""
+        a = convection_diffusion_2d(5, seed=seed)
+        lower, _upper = symbolic_lu_static(a)
+        n = a.shape[0]
+        _p, _l, u = sla.lu(a.toarray())
+        bound = set()
+        for j, c in enumerate(lower):
+            for i in c:
+                bound.add((int(i), j))
+                bound.add((j, int(i)))
+        num_u = {
+            (i, j)
+            for i in range(n)
+            for j in range(i, n)
+            if abs(u[i, j]) > 1e-12
+        }
+        assert num_u <= bound
+
+    @pytest.mark.parametrize("wind", [0.0, 4.0])
+    def test_skipped_updates_are_noops(self, wind):
+        """The operational guarantee behind update pruning: panels the
+        static bound marks as unaffected stay numerically untouched."""
+        import numpy as np
+
+        from repro.rapid.executor import execute_serial
+        from repro.sparse.lu import build_lu
+
+        a = convection_diffusion_2d(6, wind=wind, seed=1)
+        prob = build_lu(a, block_size=5, ordering="natural")
+        store = prob.initial_store()
+        execute_serial(prob.graph, store)
+        assert prob.factor_error(store) < 1e-10
+
+    def test_upper_mirrors_lower(self):
+        a = convection_diffusion_2d(4, seed=2)
+        lower, upper = symbolic_lu_static(a)
+        for lo, up in zip(lower, upper):
+            assert (lo == up).all()

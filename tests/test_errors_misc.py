@@ -1,0 +1,65 @@
+"""Tests for the error hierarchy and miscellaneous surfaces."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for name in (
+            "GraphError",
+            "CycleError",
+            "DependenceError",
+            "SchedulingError",
+            "PlacementError",
+            "NonExecutableScheduleError",
+            "MemoryError_",
+            "SimulationError",
+            "DeadlockError",
+            "DataConsistencyError",
+        ):
+            cls = getattr(errors, name)
+            assert issubclass(cls, errors.ReproError)
+
+    def test_non_executable_message(self):
+        e = errors.NonExecutableScheduleError(3, required=100, capacity=80)
+        assert "processor 3" in str(e)
+        assert e.required == 100 and e.capacity == 80
+
+    def test_cycle_hint(self):
+        assert "T1" in str(errors.CycleError("T1"))
+        assert "cycle" in str(errors.CycleError())
+
+    def test_deadlock_payload(self):
+        e = errors.DeadlockError({0: "REC", 2: "MAP"}, completed=5, total=9)
+        s = str(e)
+        assert "5/9" in s and "P0:REC" in s and "P2:MAP" in s
+        assert e.blocked == {0: "REC", 2: "MAP"}
+
+    def test_simulation_error_is_not_memory_error(self):
+        assert not issubclass(errors.SimulationError, errors.MemoryError_)
+
+
+class TestPackageSurface:
+    def test_version(self):
+        import repro
+
+        assert repro.__version__
+
+    def test_top_level_exports(self):
+        import repro
+
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None or name == "__version__"
+
+    def test_subpackage_exports_resolve(self):
+        import repro.core as core
+        import repro.graph as graph
+        import repro.machine as machine
+        import repro.rapid as rapid
+        import repro.sparse as sparse
+
+        for mod in (core, graph, machine, rapid, sparse):
+            for name in mod.__all__:
+                assert getattr(mod, name) is not None, f"{mod.__name__}.{name}"

@@ -1,0 +1,61 @@
+"""Smoke tests: the example scripts must run end to end.
+
+The two fast examples run in the default suite; the longer sweeps are
+marked ``slow`` (deselect with ``-m 'not slow'`` if needed; they still
+complete in tens of seconds).
+"""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    path = EXAMPLES / name
+    assert path.exists(), f"missing example {name}"
+    argv = sys.argv
+    try:
+        sys.argv = [str(path)]
+        runpy.run_path(str(path), run_name="__main__")
+    finally:
+        sys.argv = argv
+    return capsys.readouterr().out
+
+
+class TestFastExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", capsys)
+        assert "sum = 10.0 (correct)" in out
+
+    def test_paper_example(self, capsys):
+        out = run_example("paper_example.py", capsys)
+        assert "MIN_MEM = 9" in out
+        assert "MIN_MEM = 7 (paper: 7)" in out
+        assert "d1 -> d3 -> d4 -> d5 -> d7 -> d8 -> d2" in out
+
+
+@pytest.mark.slow
+class TestSlowExamples:
+    def test_sparse_cholesky(self, capsys):
+        out = run_example("sparse_cholesky.py", capsys)
+        assert "numeric |LL^T - A|" in out
+
+    def test_sparse_lu(self, capsys):
+        out = run_example("sparse_lu.py", capsys)
+        assert "new scheme" in out
+
+    def test_memory_scalability(self, capsys):
+        out = run_example("memory_scalability.py", capsys)
+        assert "sparse Cholesky" in out and "sparse LU" in out
+
+    def test_nbody(self, capsys):
+        out = run_example("nbody_timesteps.py", capsys)
+        assert "trajectory error" in out
+
+    def test_newton(self, capsys):
+        out = run_example("newton_method.py", capsys)
+        assert "converged" in out

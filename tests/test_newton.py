@@ -1,0 +1,94 @@
+"""Tests for the Newton's-method application (Bratu problem)."""
+
+import numpy as np
+import pytest
+
+from repro.apps import BratuProblem, newton_solve
+from repro.core import dts_order, mpo_order, rcp_order
+
+
+@pytest.fixture(scope="module")
+def bratu():
+    return BratuProblem(k=7, lam=2.0)
+
+
+@pytest.fixture(scope="module")
+def lu(bratu):
+    return bratu.build_lu(block_size=6)
+
+
+class TestBratu:
+    def test_dimensions(self, bratu):
+        assert bratu.n == 49
+        assert bratu.a.shape == (49, 49)
+
+    def test_jacobian_pattern_invariant(self, bratu):
+        rng = np.random.default_rng(0)
+        j1 = bratu.jacobian(np.zeros(bratu.n))
+        j2 = bratu.jacobian(rng.normal(size=bratu.n))
+        assert (j1 != 0).toarray().tolist() == (j2 != 0).toarray().tolist()
+
+    def test_f_and_jacobian_consistent(self, bratu):
+        """Finite-difference check of the analytic Jacobian."""
+        rng = np.random.default_rng(1)
+        u = rng.normal(scale=0.1, size=bratu.n)
+        j = bratu.jacobian(u).toarray()
+        eps = 1e-7
+        for col in (0, bratu.n // 2, bratu.n - 1):
+            e = np.zeros(bratu.n)
+            e[col] = eps
+            fd = (bratu.f(u + e) - bratu.f(u - e)) / (2 * eps)
+            assert np.allclose(fd, j[:, col], atol=1e-5)
+
+
+class TestNewton:
+    def test_converges_quadratically(self, bratu, lu):
+        res = newton_solve(lu, bratu.f, bratu.jacobian, np.zeros(bratu.n))
+        assert res.converged
+        assert res.iterations <= 6
+        # quadratic tail: each residual ~ the square of the previous
+        r = res.residuals
+        assert r[-1] < 1e-10
+        if len(r) >= 3 and r[-3] < 1e-1:
+            assert r[-2] < r[-3] ** 1.5
+
+    def test_solution_satisfies_equation(self, bratu, lu):
+        res = newton_solve(lu, bratu.f, bratu.jacobian, np.zeros(bratu.n))
+        assert np.linalg.norm(bratu.f(res.x)) < 1e-9
+
+    @pytest.mark.parametrize("order_fn", [rcp_order, mpo_order, dts_order])
+    def test_any_schedule_gives_same_solution(self, bratu, lu, order_fn):
+        pl = lu.placement(3)
+        s = order_fn(lu.graph, pl, lu.assignment(pl))
+        serial = newton_solve(lu, bratu.f, bratu.jacobian, np.zeros(bratu.n))
+        sched = newton_solve(lu, bratu.f, bratu.jacobian, np.zeros(bratu.n), schedule=s)
+        assert sched.converged
+        assert np.allclose(serial.x, sched.x)
+
+    def test_non_convergence_reported(self, bratu, lu):
+        res = newton_solve(
+            lu, bratu.f, bratu.jacobian, np.zeros(bratu.n), max_iter=1, tol=1e-14
+        )
+        assert not res.converged
+
+    def test_store_reuse_matches_fresh_build(self, bratu):
+        """Re-populating the panel store equals rebuilding the problem
+        from the new matrix (structure reuse is value-exact)."""
+        from repro.rapid.executor import execute_serial
+        from repro.sparse.lu import build_lu
+
+        rng = np.random.default_rng(2)
+        u = rng.normal(scale=0.1, size=bratu.n)
+        j = bratu.jacobian(u)
+        lu1 = bratu.build_lu(block_size=6)
+        store1 = lu1.initial_store(lu1.permute(j))
+        execute_serial(lu1.graph, store1)
+        p1, l1, u1 = lu1.assemble(store1)
+        jp = lu1.permute(j)
+        assert np.max(np.abs(l1 @ u1 - p1 @ jp.toarray())) < 1e-12
+
+    def test_initial_store_shape_check(self, lu):
+        import scipy.sparse as sp
+
+        with pytest.raises(ValueError):
+            lu.initial_store(sp.eye(3, format="csr"))
