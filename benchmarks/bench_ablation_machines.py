@@ -8,7 +8,6 @@ This ablation runs the identical Cholesky schedule on both machine
 models.
 """
 
-from repro.core import analyze_memory
 from repro.experiments.report import render_table
 from repro.machine.simulator import Simulator
 from repro.machine.spec import CRAY_T3D, MEIKO_CS2

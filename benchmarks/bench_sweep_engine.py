@@ -1,0 +1,239 @@
+"""Engine benchmark: simulator single-run cost and sweep wall-clock.
+
+Unlike the ``bench_table*`` files, which regenerate the paper's tables,
+this benchmark measures the *execution engine itself*: the cost of one
+``Simulator.run()`` on the two large workloads, the serial sweep over
+the default grid, and the process-parallel sweep executor.  The results
+are written to ``BENCH_sweep.json`` at the repository root so the
+performance trajectory of the engine can be compared across PRs::
+
+    PYTHONPATH=src python benchmarks/bench_sweep_engine.py
+    PYTHONPATH=src python -m pytest benchmarks/bench_sweep_engine.py -q
+
+The JSON schema is ``repro-bench-sweep/1`` (see EXPERIMENTS.md for the
+field-by-field description).  Infinities are serialised as the string
+``"inf"``, matching the sweep CSV convention.
+
+``SEED_BASELINE`` holds reference timings of the pre-optimisation
+engine, measured back-to-back with the optimised engine on the same
+host, so the recorded speedups compare like with like.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import pathlib
+import platform
+import time
+from datetime import datetime, timezone
+
+from repro.experiments import ExperimentContext
+from repro.experiments.sweep import SweepRecord, full_sweep, to_csv
+from repro.machine.simulator import CompiledSchedule, Simulator
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+OUT_PATH = REPO_ROOT / "BENCH_sweep.json"
+
+#: The default sweep grid (kept explicit so the JSON records it even if
+#: :func:`full_sweep` defaults drift later).
+WORKLOADS = ("chol15", "lu-goodwin")
+PROCS = (2, 4, 8, 16, 32)
+HEURISTICS = ("rcp", "mpo", "dts")
+FRACTIONS = (1.0, 0.75, 0.5, 0.4, 0.25)
+REFERENCE = "rcp"
+
+#: Single-run measurement points: the heaviest processor count, the RCP
+#: ordering and half the schedule's TOT (executable on both workloads).
+SINGLE_RUN_PROCS = 32
+SINGLE_RUN_FRACTION = 0.5
+SINGLE_RUN_REPEATS = 5
+
+#: Engine timings at the growth seed (commit adecb8f), measured
+#: back-to-back with the optimised engine on the same 2-CPU host
+#: (2026-08-05).  ``best_run_s`` is the best of 5 ``run()`` calls of one
+#: simulator; ``init_s`` is ``Simulator`` construction including the
+#: static preprocessing that :class:`CompiledSchedule` now factors out.
+SEED_BASELINE = {
+    "commit": "adecb8f",
+    "note": (
+        "pre-optimisation engine, measured back-to-back with the "
+        "current engine on the same host"
+    ),
+    "serial_sweep_s": 38.59,
+    "single_run": {
+        "chol15": {"init_s": 0.1184, "cold_run_s": 0.3438, "best_run_s": 0.3173},
+        "lu-goodwin": {"init_s": 0.0166, "cold_run_s": 0.0341, "best_run_s": 0.0249},
+    },
+}
+
+
+def _jsonable(x: float) -> float | str:
+    return "inf" if isinstance(x, float) and math.isinf(x) else x
+
+
+def bench_single_runs() -> dict:
+    """Time ``CompiledSchedule`` construction and repeated ``run()``
+    calls on the two large workloads (scheduling cost excluded)."""
+    ctx = ExperimentContext()
+    out: dict = {}
+    for key in WORKLOADS:
+        sched = ctx.schedule(key, SINGLE_RUN_PROCS, "rcp")
+        prof = ctx.profile(key, SINGLE_RUN_PROCS, "rcp")
+        capacity = int(math.floor(prof.tot * SINGLE_RUN_FRACTION))
+        if prof.min_mem > capacity:  # pragma: no cover - grid guard
+            capacity = prof.tot
+        t0 = time.perf_counter()
+        cs = CompiledSchedule(sched, profile=prof)
+        compile_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        sim = Simulator(spec=ctx.spec, capacity=capacity, compiled=cs)
+        init_s = time.perf_counter() - t0
+        runs = []
+        res = None
+        for _ in range(SINGLE_RUN_REPEATS):
+            t0 = time.perf_counter()
+            res = sim.run()
+            runs.append(time.perf_counter() - t0)
+        out[key] = {
+            "procs": SINGLE_RUN_PROCS,
+            "heuristic": "rcp",
+            "fraction": SINGLE_RUN_FRACTION,
+            "capacity": capacity,
+            "compile_s": round(compile_s, 4),
+            "init_s": round(init_s, 4),
+            "cold_run_s": round(runs[0], 4),
+            "best_run_s": round(min(runs), 4),
+            "parallel_time": res.parallel_time,
+            "avg_maps": round(res.avg_maps, 3),
+        }
+    return out
+
+
+def bench_sweep() -> dict:
+    """Serial sweep with per-cell timings, then the parallel executor;
+    asserts the two produce identical records and CSV bytes."""
+    ctx = ExperimentContext()
+    cells = []
+    records: list[SweepRecord] = []
+    t_serial = time.perf_counter()
+    for key in WORKLOADS:
+        for p in PROCS:
+            for h in HEURISTICS:
+                for f in FRACTIONS:
+                    t0 = time.perf_counter()
+                    cell = ctx.run_cell(key, p, h, f, reference=REFERENCE)
+                    cell_s = time.perf_counter() - t0
+                    records.append(
+                        SweepRecord(
+                            workload=key,
+                            procs=p,
+                            heuristic=h,
+                            fraction=f,
+                            executable=cell.executable,
+                            capacity=cell.capacity,
+                            min_mem=cell.min_mem,
+                            tot=cell.tot,
+                            parallel_time=cell.pt,
+                            pt_increase=cell.pt_increase,
+                            avg_maps=cell.avg_maps,
+                        )
+                    )
+                    cells.append(
+                        {
+                            "workload": key,
+                            "procs": p,
+                            "heuristic": h,
+                            "fraction": f,
+                            "executable": cell.executable,
+                            "parallel_time": _jsonable(cell.pt),
+                            "avg_maps": _jsonable(
+                                round(cell.avg_maps, 3)
+                                if math.isfinite(cell.avg_maps)
+                                else cell.avg_maps
+                            ),
+                            "cell_s": round(cell_s, 4),
+                        }
+                    )
+    serial_s = time.perf_counter() - t_serial
+
+    jobs = max(2, os.cpu_count() or 2)
+    t_par = time.perf_counter()
+    par_records = full_sweep(
+        ExperimentContext(),
+        workloads=WORKLOADS,
+        procs=PROCS,
+        heuristics=HEURISTICS,
+        fractions=FRACTIONS,
+        reference=REFERENCE,
+        jobs=jobs,
+    )
+    parallel_s = time.perf_counter() - t_par
+
+    identical = par_records == records and to_csv(par_records) == to_csv(records)
+    return {
+        "serial_s": round(serial_s, 2),
+        "parallel_s": round(parallel_s, 2),
+        "jobs": jobs,
+        "speedup": round(serial_s / parallel_s, 2),
+        "identical_to_serial": identical,
+        "cells": cells,
+    }
+
+
+def run_benchmark(out_path: pathlib.Path = OUT_PATH) -> dict:
+    single = bench_single_runs()
+    sweep = bench_sweep()
+    seed = SEED_BASELINE
+    comparison = {
+        "serial_sweep_vs_seed": round(seed["serial_sweep_s"] / sweep["serial_s"], 2),
+        "parallel_sweep_vs_seed": round(
+            seed["serial_sweep_s"] / sweep["parallel_s"], 2
+        ),
+    }
+    for key in WORKLOADS:
+        comparison[f"{key}_run_vs_seed"] = round(
+            seed["single_run"][key]["best_run_s"] / single[key]["best_run_s"], 2
+        )
+    report = {
+        "schema": "repro-bench-sweep/1",
+        "generated_utc": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "machine": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "cpu_count": os.cpu_count(),
+        },
+        "grid": {
+            "workloads": list(WORKLOADS),
+            "procs": list(PROCS),
+            "heuristics": list(HEURISTICS),
+            "fractions": list(FRACTIONS),
+            "reference": REFERENCE,
+        },
+        "single_run": single,
+        "sweep": sweep,
+        "seed_baseline": seed,
+        "speedup_vs_seed": comparison,
+    }
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
+def test_sweep_engine_benchmark():
+    report = run_benchmark()
+    assert report["sweep"]["identical_to_serial"]
+    assert report["sweep"]["speedup"] > 1.0
+    assert OUT_PATH.exists()
+
+
+if __name__ == "__main__":
+    report = run_benchmark()
+    sw = report["sweep"]
+    print(f"serial sweep   : {sw['serial_s']:.2f}s")
+    print(f"parallel sweep : {sw['parallel_s']:.2f}s (jobs={sw['jobs']})")
+    print(f"speedup        : {sw['speedup']:.2f}x"
+          f"  (identical: {sw['identical_to_serial']})")
+    for k, v in report["speedup_vs_seed"].items():
+        print(f"{k:24s}: {v:.2f}x")
+    print(f"wrote {OUT_PATH}")

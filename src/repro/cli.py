@@ -140,6 +140,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="restrict comparison tables to one application")
     parser.add_argument("--procs", type=int, nargs="*", default=None,
                         help="processor counts to sweep")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for the 'sweep' command "
+                             "(0 = one per CPU; results are identical to "
+                             "--jobs 1)")
     parser.add_argument("--out", default=".",
                         help="output directory for the 'svg' command")
     args = parser.parse_args(argv)
@@ -167,7 +171,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
         ctx = ExperimentContext()
         records = full_sweep(
-            ctx, procs=tuple(args.procs) if args.procs else (2, 4, 8, 16, 32)
+            ctx,
+            procs=tuple(args.procs) if args.procs else (2, 4, 8, 16, 32),
+            jobs=args.jobs,
         )
         out = pathlib.Path(args.out)
         target = out / "sweep.csv" if out.is_dir() or not out.suffix else out

@@ -113,7 +113,9 @@ def build_dcg(graph: TaskGraph) -> DCG:
         for x in assoc[u]:
             for y in assoc[v]:
                 link(x, y)
-    for n in nodes:
+    # Sorted so the DCG (and every downstream slice order) is independent
+    # of the process hash seed — DTS schedules must be reproducible.
+    for n in sorted(nodes):
         succ.setdefault(n, set())
 
     comp = _tarjan_scc(succ)
@@ -197,7 +199,7 @@ def _tarjan_scc(succ: Mapping[str, set[str]]) -> dict[str, int]:
     for root in succ:
         if root in index:
             continue
-        work: list[tuple[str, list[str]]] = [(root, list(succ[root]))]
+        work: list[tuple[str, list[str]]] = [(root, sorted(succ[root]))]
         index[root] = low[root] = counter
         counter += 1
         stack.append(root)
@@ -211,7 +213,7 @@ def _tarjan_scc(succ: Mapping[str, set[str]]) -> dict[str, int]:
                     counter += 1
                     stack.append(child)
                     on_stack.add(child)
-                    work.append((child, list(succ[child])))
+                    work.append((child, sorted(succ[child])))
                 elif child in on_stack:
                     low[node] = min(low[node], index[child])
             else:

@@ -40,9 +40,28 @@ def merge_slices(h_values: list[int], avail_volatile: int) -> list[int]:
 
     Returns ``new_index[i]`` — the merged slice of original slice ``i``.
     The sum is a safe over-estimate of the merged slice's requirement.
+
+    Raises :class:`~repro.errors.SchedulingError` when the budget is not
+    positive or a single slice already needs more than the budget —
+    merging such an input would silently produce a slicing whose
+    schedule can never execute under the capacity, and the failure would
+    only surface much later as a confusing planner/simulator error.
     """
     if not h_values:
         return []
+    if avail_volatile <= 0:
+        raise SchedulingError(
+            "slice merging needs a positive volatile budget "
+            f"(got {avail_volatile}; the permanent footprint already "
+            "exhausts the capacity)"
+        )
+    for i, h in enumerate(h_values):
+        if h > avail_volatile:
+            raise SchedulingError(
+                f"slice {i} needs {h} volatile bytes but only "
+                f"{avail_volatile} are available; no merging can make "
+                "this schedule executable"
+            )
     new_index = [0] * len(h_values)
     space_req = h_values[0]
     k = 0
@@ -92,9 +111,17 @@ def dts_order(
             (sum(graph.object(o).size for o in s) for s in perm), default=0
         )
         budget = avail_mem - perm_bytes
-        new_index = merge_slices(h_values, budget)
-        slice_of = {t: new_index[s] for t, s in slice_of.items()}
-        merged = True
+        try:
+            new_index = merge_slices(h_values, budget)
+        except SchedulingError:
+            # Over-budget slice (or no volatile budget at all): merging
+            # cannot help, so fall back to plain DTS — the most
+            # memory-frugal ordering; downstream MIN_MEM checks decide
+            # executability.
+            pass
+        else:
+            slice_of = {t: new_index[s] for t, s in slice_of.items()}
+            merged = True
 
     cp = rcp_priorities(graph, assignment, comm)
     info = {

@@ -93,6 +93,20 @@ def run_list_scheduler(
     version: dict[str, int] = {t: 0 for t in graph.task_names}
     counter = 0
 
+    # Earliest-idle selection: processors with (potentially) ready tasks
+    # sit in a priority queue keyed by (idle, proc).  A processor holds
+    # at most one entry; its idle time only changes while it is *out* of
+    # the queue (it is popped before being scheduled on), so entries are
+    # never stale.  Popping yields the minimum idle with the smallest
+    # processor id on ties — the same choice as a linear scan.
+    proc_pq: list[tuple[float, int]] = []
+    in_pq = [False] * nprocs
+
+    def activate(p: int) -> None:
+        if not in_pq[p]:
+            in_pq[p] = True
+            heapq.heappush(proc_pq, (idle[p], p))
+
     # DTS slice gate state.
     lvl_remaining: list[dict[int, int]] = [dict() for _ in range(nprocs)]
     min_level: list[int] = [0] * nprocs
@@ -117,6 +131,7 @@ def run_list_scheduler(
             return
         counter += 1
         heapq.heappush(heaps[p], (neg(policy.priority(task)), counter, task, version[task]))
+        activate(p)
 
     def unpark(p: int) -> None:
         """Move parked tasks whose level became current into the heap."""
@@ -127,6 +142,7 @@ def run_list_scheduler(
             heapq.heappush(
                 heaps[p], (neg(policy.priority(task)), counter, task, version[task])
             )
+            activate(p)
 
     def pop(p: int) -> Optional[str]:
         """Pop the highest-priority non-stale entry of processor ``p``."""
@@ -149,20 +165,25 @@ def run_list_scheduler(
     while scheduled < total:
         # Processor with earliest idle time among those with ready tasks.
         best_p = -1
-        for p in range(nprocs):
+        while proc_pq:
+            _, p = heapq.heappop(proc_pq)
+            in_pq[p] = False
+            h = heaps[p]
             # Drop stale heads so emptiness is accurate.
-            while heaps[p]:
-                _, _, task, ver = heaps[p][0]
-                if ver != version[task] or task in finish:
-                    heapq.heappop(heaps[p])
+            while h:
+                _, _, t, ver = h[0]
+                if ver != version[t] or t in finish:
+                    heapq.heappop(h)
                 else:
                     break
-            if heaps[p] and (best_p < 0 or idle[p] < idle[best_p]):
+            if h:
                 best_p = p
+                break
+            # Only stale entries: dormant until the next push wakes it.
         if best_p < 0:
             raise SchedulingError(
                 f"list scheduler stalled with {total - scheduled} tasks left "
-                f"(inconsistent levels or assignment)"
+                "(inconsistent levels or assignment)"
             )
         task = pop(best_p)
         assert task is not None
@@ -203,6 +224,11 @@ def run_list_scheduler(
                 continue
             version[u] += 1
             push(u)
+
+        # The chosen processor left the queue; requeue it (at its new
+        # idle time) while it still has queued entries.
+        if heaps[best_p]:
+            activate(best_p)
 
     schedule = Schedule(
         graph=graph,

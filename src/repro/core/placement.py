@@ -125,7 +125,7 @@ def derive_placement(graph: TaskGraph, assignment: Mapping[str, int], num_procs:
             elif prev != p:
                 raise PlacementError(
                     f"object {o!r} is written on processors {prev} and {p}; "
-                    f"cannot derive a unique owner"
+                    "cannot derive a unique owner"
                 )
     for t in graph.tasks():
         for o in t.reads:

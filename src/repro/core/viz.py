@@ -41,7 +41,7 @@ def _document(body: list[str], width: int, height: int) -> str:
     head = (
         f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
         f'height="{height}" viewBox="0 0 {width} {height}" '
-        f'font-family="monospace" font-size="11">'
+        'font-family="monospace" font-size="11">'
     )
     return "\n".join([head, *body, "</svg>"])
 
@@ -74,7 +74,7 @@ def gantt_svg(
         body.append(
             f'<line x1="{margin_l}" y1="{y + lane_height - 2}" '
             f'x2="{margin_l + plot_w}" y2="{y + lane_height - 2}" '
-            f'stroke="#ddd"/>'
+            'stroke="#ddd"/>'
         )
         for t in sched.orders[q]:
             x = margin_l + chart.start[t] * scale

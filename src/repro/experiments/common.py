@@ -27,7 +27,7 @@ from typing import Optional
 
 from ..core.liveness import MemoryProfile, analyze_memory
 from ..core.schedule import Schedule
-from ..machine.simulator import SimResult, Simulator
+from ..machine.simulator import CompiledSchedule, SimResult, Simulator
 from ..machine.spec import CRAY_T3D, MachineSpec
 from ..rapid.inspector import order_with
 from ..sparse.cholesky import build_cholesky
@@ -67,8 +67,10 @@ class ExperimentContext:
     def __init__(self, spec: MachineSpec = CRAY_T3D):
         self.spec = spec
         self._problems: dict[str, object] = {}
+        self._registered: dict[str, object] = {}
         self._schedules: dict[tuple, Schedule] = {}
         self._profiles: dict[tuple, MemoryProfile] = {}
+        self._compiled: dict[tuple, CompiledSchedule] = {}
         self._baseline_pt: dict[tuple, float] = {}
         self._sims: dict[tuple, SimResult] = {}
 
@@ -100,8 +102,11 @@ class ExperimentContext:
 
     def register(self, key: str, problem) -> None:
         """Register a custom problem (must expose ``graph``,
-        ``placement(p)`` and ``assignment(placement)``)."""
+        ``placement(p)`` and ``assignment(placement)``).  Registered
+        problems must be picklable to take part in a parallel sweep
+        (:func:`repro.experiments.sweep.full_sweep` with ``jobs > 1``)."""
         self._problems[key] = problem
+        self._registered[key] = problem
 
     # -- schedules ---------------------------------------------------------
 
@@ -127,6 +132,20 @@ class ExperimentContext:
             self._profiles[ck] = analyze_memory(self.schedule(key, p, heuristic, capacity))
         return self._profiles[ck]
 
+    def compiled(self, key: str, p: int, heuristic: str, capacity: Optional[int] = None) -> CompiledSchedule:
+        """Compiled (validated, preprocessed) form of a schedule.
+
+        One compiled schedule serves every capacity of a sweep, so the
+        validation / liveness / static-table work is paid once per
+        (workload, procs, heuristic) instead of once per cell."""
+        ck = (key, p, heuristic, capacity)
+        if ck not in self._compiled:
+            self._compiled[ck] = CompiledSchedule(
+                self.schedule(key, p, heuristic, capacity),
+                profile=self.profile(key, p, heuristic, capacity),
+            )
+        return self._compiled[ck]
+
     def reference_tot(self, key: str, p: int) -> int:
         """The RCP schedule's TOT — the 100% reference of section 5.1."""
         return self.profile(key, p, "rcp").tot
@@ -136,12 +155,10 @@ class ExperimentContext:
         management (the comparison base of Tables 2/3)."""
         ck = (key, p)
         if ck not in self._baseline_pt:
-            sched = self.schedule(key, p, "rcp")
             res = Simulator(
-                sched,
                 spec=self.spec,
                 memory_managed=False,
-                profile=self.profile(key, p, "rcp"),
+                compiled=self.compiled(key, p, "rcp"),
             ).run()
             self._baseline_pt[ck] = res.parallel_time
         return self._baseline_pt[ck]
@@ -171,7 +188,6 @@ class ExperimentContext:
         )
         capacity = int(math.floor(tot * fraction))
         cap_arg = capacity if merge_capacity else None
-        sched = self.schedule(key, p, heuristic, cap_arg)
         prof = self.profile(key, p, heuristic, cap_arg)
         base = self.baseline_pt(key, p)
         if prof.min_mem > capacity:
@@ -181,7 +197,9 @@ class ExperimentContext:
         sk = (key, p, heuristic, cap_arg, capacity)
         if sk not in self._sims:
             self._sims[sk] = Simulator(
-                sched, spec=self.spec, capacity=capacity, profile=prof
+                spec=self.spec,
+                capacity=capacity,
+                compiled=self.compiled(key, p, heuristic, cap_arg),
             ).run()
         res = self._sims[sk]
         return CellMetrics(

@@ -5,6 +5,15 @@ usually want the raw grid instead.  :func:`full_sweep` runs every
 (workload × processors × heuristic × memory fraction) combination
 through the cached :class:`~repro.experiments.common.ExperimentContext`
 and returns flat records; :func:`to_csv` serialises them (stdlib only).
+
+Grid cells are independent, so :func:`full_sweep` can fan the grid out
+over worker processes (``jobs > 1``).  Work is grouped by
+(workload, processors): every cell of a group shares the group's
+schedules, compiled simulator tables and RCP baseline, so that shared
+work is computed once per group rather than once per cell.  Results are
+returned in the same deterministic order as the serial sweep — the
+simulation itself is deterministic, so ``jobs=N`` produces records (and
+CSV bytes) identical to ``jobs=1``.
 """
 
 from __future__ import annotations
@@ -12,6 +21,8 @@ from __future__ import annotations
 import csv
 import io
 import math
+import os
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import asdict, dataclass
 from typing import Iterable, Optional, Sequence
 
@@ -47,6 +58,55 @@ class SweepRecord:
     avg_maps: float
 
 
+def _run_group(
+    ctx: ExperimentContext,
+    key: str,
+    p: int,
+    heuristics: Sequence[str],
+    fractions: Sequence[float],
+    reference: str,
+) -> list[SweepRecord]:
+    """All records of one (workload, procs) group, in grid order."""
+    out: list[SweepRecord] = []
+    for h in heuristics:
+        for f in fractions:
+            cell = ctx.run_cell(key, p, h, f, reference=reference)
+            out.append(
+                SweepRecord(
+                    workload=key,
+                    procs=p,
+                    heuristic=h,
+                    fraction=f,
+                    executable=cell.executable,
+                    capacity=cell.capacity,
+                    min_mem=cell.min_mem,
+                    tot=cell.tot,
+                    parallel_time=cell.pt,
+                    pt_increase=cell.pt_increase,
+                    avg_maps=cell.avg_maps,
+                )
+            )
+    return out
+
+
+#: Per-worker-process context; built once by :func:`_worker_init` so
+#: schedules and baselines are shared across the groups a worker runs.
+_WORKER_CTX: Optional[ExperimentContext] = None
+
+
+def _worker_init(spec, registered) -> None:
+    global _WORKER_CTX
+    _WORKER_CTX = ExperimentContext(spec=spec)
+    for key, problem in registered.items():
+        _WORKER_CTX.register(key, problem)
+
+
+def _worker_run_group(args) -> list[SweepRecord]:
+    key, p, heuristics, fractions, reference = args
+    assert _WORKER_CTX is not None
+    return _run_group(_WORKER_CTX, key, p, heuristics, fractions, reference)
+
+
 def full_sweep(
     ctx: ExperimentContext,
     workloads: Sequence[str] = ("chol15", "lu-goodwin"),
@@ -54,30 +114,36 @@ def full_sweep(
     heuristics: Sequence[str] = ("rcp", "mpo", "dts"),
     fractions: Sequence[float] = (1.0, 0.75, 0.5, 0.4, 0.25),
     reference: str = "rcp",
+    jobs: Optional[int] = 1,
 ) -> list[SweepRecord]:
-    """Run the full grid; non-executable cells get ``inf`` metrics."""
-    out: list[SweepRecord] = []
-    for key in workloads:
-        for p in procs:
-            for h in heuristics:
-                for f in fractions:
-                    cell = ctx.run_cell(key, p, h, f, reference=reference)
-                    out.append(
-                        SweepRecord(
-                            workload=key,
-                            procs=p,
-                            heuristic=h,
-                            fraction=f,
-                            executable=cell.executable,
-                            capacity=cell.capacity,
-                            min_mem=cell.min_mem,
-                            tot=cell.tot,
-                            parallel_time=cell.pt,
-                            pt_increase=cell.pt_increase,
-                            avg_maps=cell.avg_maps,
-                        )
-                    )
-    return out
+    """Run the full grid; non-executable cells get ``inf`` metrics.
+
+    ``jobs`` selects the number of worker processes (``None``/``0`` =
+    one per CPU).  Parallel runs return exactly the records of the
+    serial run, in the same order; the workers rebuild their own
+    :class:`~repro.experiments.common.ExperimentContext` from
+    ``ctx.spec``, so custom problems registered on ``ctx`` must be
+    picklable to sweep with ``jobs > 1``.
+    """
+    if not jobs or jobs < 0:
+        jobs = os.cpu_count() or 1
+    groups = [(key, p) for key in workloads for p in procs]
+    if jobs == 1 or len(groups) <= 1:
+        out: list[SweepRecord] = []
+        for key, p in groups:
+            out.extend(_run_group(ctx, key, p, heuristics, fractions, reference))
+        return out
+    tasks = [
+        (key, p, tuple(heuristics), tuple(fractions), reference)
+        for key, p in groups
+    ]
+    with ProcessPoolExecutor(
+        max_workers=min(jobs, len(groups)),
+        initializer=_worker_init,
+        initargs=(ctx.spec, dict(ctx._registered)),
+    ) as pool:
+        chunks = list(pool.map(_worker_run_group, tasks))
+    return [rec for chunk in chunks for rec in chunk]
 
 
 def to_csv(records: Iterable[SweepRecord], path: Optional[str] = None) -> str:

@@ -15,7 +15,6 @@ from .common import (
     FRACTIONS,
     FRACTIONS_CMP,
     INF,
-    CellMetrics,
     ExperimentContext,
     compare_pt,
 )

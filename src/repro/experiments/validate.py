@@ -12,9 +12,7 @@ sweeps live in ``benchmarks/``.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
-from typing import Callable
 
 from .common import ExperimentContext
 from .figure7 import figure7

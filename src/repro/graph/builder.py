@@ -204,7 +204,7 @@ class GraphBuilder:
         if self._mode == "check":
             raise DependenceError(
                 f"{kind} dependence {u!r} -> {v!r} on object {obj!r} is not "
-                f"subsumed by a true dependence"
+                "subsumed by a true dependence"
             )
         # transform: enforce ordering with a data-less sync edge.
         g.add_edge(u, v, None)

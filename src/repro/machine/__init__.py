@@ -11,16 +11,19 @@ of schedules under the active memory management protocol of section 3.
 from .spec import CRAY_T3D, MEIKO_CS2, UNIT_MACHINE, MachineSpec
 from .memory import FreeListAllocator, ObjectAllocator
 from .simulator import (
+    CompiledSchedule,
     ProcState,
     ProcessorStats,
     SimResult,
     Simulator,
     TraceEvent,
+    compile_schedule,
     simulate,
 )
 
 __all__ = [
     "CRAY_T3D",
+    "CompiledSchedule",
     "FreeListAllocator",
     "MEIKO_CS2",
     "MachineSpec",
@@ -31,5 +34,6 @@ __all__ = [
     "Simulator",
     "TraceEvent",
     "UNIT_MACHINE",
+    "compile_schedule",
     "simulate",
 ]

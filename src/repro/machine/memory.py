@@ -125,7 +125,7 @@ class FreeListAllocator:
             self.failed_fragmented += 1
             raise MemoryError_(
                 f"fragmentation: {size} B requested, {self.capacity - self.used} "
-                f"B free but no extent large enough"
+                "B free but no extent large enough"
             )
         raise MemoryError_(f"out of memory allocating {size} B for {name!r}")
 

@@ -38,6 +38,28 @@ Two execution modes:
   analysis);
 * ``memory_managed=False`` — the *baseline* of Tables 2/3: all volatile
   space pre-allocated, all addresses known a priori, no MAP costs.
+
+Performance architecture
+------------------------
+
+The static preprocessing (trigger tasks, message fan-out, receiver
+requirement counts) depends only on the schedule, not on the memory
+capacity, so it lives in :class:`CompiledSchedule` and is computed once
+per schedule.  The experiment sweeps run one schedule under many
+capacities; compiling once and passing ``compiled=`` skips the repeated
+validation / liveness analysis / table construction.  A
+``CompiledSchedule`` also memoises MAP plans per capacity.
+
+Readiness of a task is tracked with countdown counters: every task
+starts with the number of distinct remote inputs it waits for, each
+arrival decrements the counters of the tasks waiting on that key, and a
+task is ready exactly when its counter reaches zero — no per-wake-up
+rescan of the requirement list.
+
+All dynamic state of :meth:`Simulator.run` is local to the call: a
+``Simulator`` (and the ``MapPlan``/``CompiledSchedule`` it holds) can be
+run repeatedly — even concurrently from several threads — and a failed
+run (:class:`~repro.errors.DeadlockError`, …) leaves no residue behind.
 """
 
 from __future__ import annotations
@@ -81,6 +103,8 @@ class ProcessorStats:
     #: RA reads, send overheads.
     overhead_time: float = 0.0
     num_maps: int = 0
+    #: Tasks of the schedule order executed by this processor.
+    num_tasks: int = 0
     data_msgs_sent: int = 0
     sync_msgs_sent: int = 0
     suspended_sends: int = 0
@@ -132,7 +156,11 @@ class SimResult:
 
     @property
     def avg_maps(self) -> float:
-        counts = [s.num_maps for s in self.stats if s.busy_time > 0 or s.num_maps]
+        """Average MAPs over processors that own tasks — the same
+        non-empty-order rule as :attr:`repro.core.maps.MapPlan.avg_maps`,
+        so the ``#MAPs`` columns of Tables 2/3/5 agree between the
+        static plan and the executed result."""
+        counts = [s.num_maps for s in self.stats if s.num_tasks]
         return sum(counts) / len(counts) if counts else 0.0
 
     @property
@@ -151,99 +179,66 @@ class SimResult:
         return sum(s.busy_time for s in self.stats) / (p * self.parallel_time)
 
 
-class Simulator:
-    """Execute one schedule on the simulated machine.
+class CompiledSchedule:
+    """Capacity-independent static tables for simulating one schedule.
 
-    Parameters
-    ----------
-    schedule:
-        A validated static schedule (owner-compute is asserted).
-    spec:
-        Machine cost parameters (default: :data:`~repro.machine.spec.CRAY_T3D`).
-    capacity:
-        Per-processor memory in bytes/units; defaults to
-        ``spec.memory_capacity``.  With ``memory_managed=True`` a
-        :class:`~repro.errors.NonExecutableScheduleError` propagates from
-        the MAP planner when the capacity is below ``MIN_MEM``; the
-        baseline mode requires ``capacity >= TOT``.
-    memory_managed:
-        Toggle the active memory management protocol (see module doc).
-    plan / profile:
-        Optional precomputed MAP plan and memory profile (re-used by the
-        experiment sweeps).
+    Compiling is the expensive part of constructing a
+    :class:`Simulator`: schedule validation, the liveness analysis, the
+    producer-unit triggers, message fan-out and the receiver requirement
+    counters.  None of it depends on the memory capacity or execution
+    mode, so one compiled schedule serves every run of that schedule —
+    pass it via ``Simulator(compiled=...)``.
+
+    MAP plans *do* depend on the capacity; :meth:`plan_for` memoises
+    them per capacity so a sweep re-running one schedule under a
+    capacity it has already planned pays nothing.
     """
 
     def __init__(
         self,
         schedule: Schedule,
-        spec: MachineSpec = CRAY_T3D,
-        capacity: Optional[int] = None,
-        memory_managed: bool = True,
-        plan: Optional[MapPlan] = None,
         profile: Optional[MemoryProfile] = None,
         validate: bool = True,
-        preknown_addresses: bool = False,
-        trace: bool = False,
     ):
-        """See class docstring; ``preknown_addresses=True`` models a
-        steady-state iteration of an iterative application (RAPID's
-        target workloads, Figure 1: "execute tasks iteratively"): the
-        volatile addresses notified during the first iteration remain
-        valid, so MAPs still pay their allocate/free costs but no
-        address packages travel and no send ever suspends."""
         self.schedule = schedule
-        self.spec = spec
-        self.g = schedule.graph
-        self.p = schedule.num_procs
-        self.memory_managed = memory_managed
-        self.preknown_addresses = preknown_addresses
-        self.trace_enabled = trace
+        self.graph = schedule.graph
+        self.num_procs = schedule.num_procs
         if validate:
             schedule.validate()
-            validate_owner_compute(self.g, schedule.placement, schedule.assignment)
+            validate_owner_compute(
+                self.graph, schedule.placement, schedule.assignment
+            )
         self.profile = profile if profile is not None else analyze_memory(schedule)
-        if capacity is None:
-            capacity = (
-                spec.memory_capacity if memory_managed else max(self.profile.tot, 1)
-            )
-        self.capacity = int(capacity)
-        if memory_managed:
-            self.plan = (
-                plan
-                if plan is not None
-                else plan_maps(schedule, self.capacity, self.profile)
-            )
-        else:
-            if self.capacity < self.profile.tot:
-                raise SimulationError(
-                    f"baseline mode needs capacity >= TOT "
-                    f"({self.capacity} < {self.profile.tot})"
-                )
-            self.plan = None
-        self._build_static()
+        self._plans: dict[int, MapPlan] = {}
+        self._compile()
 
-    # ------------------------------------------------------------------
-    # static preprocessing
-    # ------------------------------------------------------------------
+    # -- producer units -------------------------------------------------
 
-    def _pid(self, task: str) -> str:
+    def pid(self, task: str) -> str:
         """Producer unit: commuting-group key or the task itself."""
-        t = self.g.task(task)
-        return t.commute if t.commute is not None else task
+        return self._pid_of[task]
 
-    def _build_static(self) -> None:
-        g, sched = self.g, self.schedule
+    def _compile(self) -> None:
+        g, sched = self.graph, self.schedule
         assignment = sched.assignment
+        nprocs = self.num_procs
         pos = sched.position()
+
+        self._pid_of: dict[str, str] = {}
+        for name in g.task_names:
+            t = g.task(name)
+            self._pid_of[name] = t.commute if t.commute is not None else name
+        pid_of = self._pid_of
+
         # Trigger task of each producer unit: the unit's last task in the
         # processor order (commuting groups are co-located).
         trigger: dict[str, str] = {}
         for t in g.task_names:
-            u = self._pid(t)
+            u = pid_of[t]
             cur = trigger.get(u)
             if cur is None or pos[t] > pos[cur]:
                 trigger[u] = t
-        self._trigger = trigger
+        self.trigger = trigger
 
         # Outgoing messages per trigger task.
         #   data: (obj, unit, dest, nbytes)   sync: (unit, dest)
@@ -256,13 +251,21 @@ class Simulator:
         needs: dict[str, list[tuple]] = {t: [] for t in g.task_names}
         # How many unexecuted tasks of each processor still need a given
         # received key (for the stale-copy consistency check).
-        self._need_count: list[dict[tuple, int]] = [dict() for _ in range(self.p)]
+        need_count: list[dict[tuple, int]] = [dict() for _ in range(nprocs)]
+        # Tasks waiting on each received key, per destination processor
+        # (drives the readiness countdown counters).
+        data_waiters: list[dict[tuple[str, str], list[str]]] = [
+            dict() for _ in range(nprocs)
+        ]
+        sync_waiters: list[dict[str, list[str]]] = [dict() for _ in range(nprocs)]
+        # Distinct remote inputs each task waits for.
+        pending: dict[str, int] = {}
 
         for u, v, objs in g.edges():
             pu, pv = assignment[u], assignment[v]
             if pu == pv:
                 continue
-            unit = self._pid(u)
+            unit = pid_of[u]
             trig = trigger[unit]
             if objs:
                 # The payload of a commuting group is its accumulated
@@ -278,8 +281,12 @@ class Simulator:
                             (m, unit, pv, g.object(m).size)
                         )
                     needs[v].append(("data", m, unit))
-                    cnt = self._need_count[pv]
+                    cnt = need_count[pv]
                     cnt[(m, unit)] = cnt.get((m, unit), 0) + 1
+                    waiters = data_waiters[pv].setdefault((m, unit), [])
+                    if v not in waiters:
+                        waiters.append(v)
+                        pending[v] = pending.get(v, 0) + 1
             else:
                 # Synchronisation edges are member-specific (they encode
                 # a transformed anti/output dependence from one task);
@@ -290,9 +297,36 @@ class Simulator:
                     seen_sync.add(key)
                     out_sync.setdefault(u, []).append((u, pv))
                 needs[v].append(("sync", u))
-        self._out_data = out_data
-        self._out_sync = out_sync
-        self._needs = needs
+                waiters = sync_waiters[pv].setdefault(u, [])
+                if v not in waiters:
+                    waiters.append(v)
+                    pending[v] = pending.get(v, 0) + 1
+        self.out_data = out_data
+        self.out_sync = out_sync
+        self.needs = needs
+        self.need_count0 = need_count
+        self.data_waiters = data_waiters
+        self.sync_waiters = sync_waiters
+        self.pending0 = pending
+
+        # Per-task execution constants for the hot loop.
+        self.weight: dict[str, float] = {
+            t: g.task(t).weight for t in g.task_names
+        }
+        #: task -> tuple of (object, producer unit) version updates.
+        self.write_version: dict[str, tuple[tuple[str, str], ...]] = {
+            t: tuple((m, pid_of[t]) for m in g.task(t).writes)
+            for t in g.task_names
+        }
+        #: task -> received keys it consumes (with multiplicity, matching
+        #: ``need_count0``).
+        self.consumes: dict[str, tuple[tuple[str, str], ...]] = {
+            t: tuple(
+                (req[1], req[2]) for req in needs[t] if req[0] == "data"
+            )
+            for t in g.task_names
+        }
+        self.obj_size: dict[str, int] = {o.name: o.size for o in g.objects()}
 
         # Every volatile object a processor reads must have a producer
         # somewhere, otherwise its owner would never send data (and the
@@ -300,23 +334,130 @@ class Simulator:
         # built with ``materialize_inputs=True`` satisfy this by
         # construction.
         produced = {m for t in g.tasks() for m in t.writes}
-        for q in range(self.p):
+        for q in range(nprocs):
             for m in self.profile.procs[q].span:
                 if m not in produced:
                     raise SimulationError(
                         f"volatile object {m!r} read on P{q} has no producer; "
-                        f"build the graph with materialize_inputs=True"
+                        "build the graph with materialize_inputs=True"
                     )
 
-        # MAPs by position per processor.
+        # Permanent footprint per processor (allocated for the whole run).
+        self.perm_bytes = [pp.perm_bytes for pp in self.profile.procs]
+
+    # -- MAP plans ------------------------------------------------------
+
+    def plan_for(self, capacity: int) -> MapPlan:
+        """MAP plan of this schedule under ``capacity``, memoised.
+
+        Raises :class:`~repro.errors.NonExecutableScheduleError` below
+        ``MIN_MEM`` (failures are not cached)."""
+        plan = self._plans.get(capacity)
+        if plan is None:
+            plan = plan_maps(self.schedule, capacity, self.profile)
+            self._plans[capacity] = plan
+        return plan
+
+
+def compile_schedule(
+    schedule: Schedule,
+    profile: Optional[MemoryProfile] = None,
+    validate: bool = True,
+) -> CompiledSchedule:
+    """Convenience wrapper around :class:`CompiledSchedule`."""
+    return CompiledSchedule(schedule, profile=profile, validate=validate)
+
+
+class Simulator:
+    """Execute one schedule on the simulated machine.
+
+    Parameters
+    ----------
+    schedule:
+        A validated static schedule (owner-compute is asserted).  May be
+        omitted when ``compiled`` is given.
+    spec:
+        Machine cost parameters (default: :data:`~repro.machine.spec.CRAY_T3D`).
+    capacity:
+        Per-processor memory in bytes/units; defaults to
+        ``spec.memory_capacity``.  With ``memory_managed=True`` a
+        :class:`~repro.errors.NonExecutableScheduleError` propagates from
+        the MAP planner when the capacity is below ``MIN_MEM``; the
+        baseline mode requires ``capacity >= TOT``.
+    memory_managed:
+        Toggle the active memory management protocol (see module doc).
+    plan / profile:
+        Optional precomputed MAP plan and memory profile (re-used by the
+        experiment sweeps).
+    compiled:
+        Optional :class:`CompiledSchedule`; skips validation, liveness
+        analysis and static preprocessing entirely.  One compiled
+        schedule can back any number of simulators.
+
+    :meth:`run` keeps all mutable execution state local to the call, so
+    a simulator can be run repeatedly (and concurrently) and an aborted
+    run never corrupts the shared ``plan``/``compiled`` objects.
+    """
+
+    def __init__(
+        self,
+        schedule: Optional[Schedule] = None,
+        spec: MachineSpec = CRAY_T3D,
+        capacity: Optional[int] = None,
+        memory_managed: bool = True,
+        plan: Optional[MapPlan] = None,
+        profile: Optional[MemoryProfile] = None,
+        validate: bool = True,
+        preknown_addresses: bool = False,
+        trace: bool = False,
+        compiled: Optional[CompiledSchedule] = None,
+    ):
+        """See class docstring; ``preknown_addresses=True`` models a
+        steady-state iteration of an iterative application (RAPID's
+        target workloads, Figure 1: "execute tasks iteratively"): the
+        volatile addresses notified during the first iteration remain
+        valid, so MAPs still pay their allocate/free costs but no
+        address packages travel and no send ever suspends."""
+        if compiled is None:
+            if schedule is None:
+                raise SimulationError("Simulator needs a schedule or a compiled schedule")
+            compiled = CompiledSchedule(schedule, profile=profile, validate=validate)
+        elif schedule is not None and schedule is not compiled.schedule:
+            raise SimulationError("schedule does not match compiled.schedule")
+        self.compiled = compiled
+        self.schedule = compiled.schedule
+        self.spec = spec
+        self.g = compiled.graph
+        self.p = compiled.num_procs
+        self.memory_managed = memory_managed
+        self.preknown_addresses = preknown_addresses
+        self.trace_enabled = trace
+        self.profile = compiled.profile
+        if capacity is None:
+            capacity = (
+                spec.memory_capacity if memory_managed else max(self.profile.tot, 1)
+            )
+        self.capacity = int(capacity)
+        if memory_managed:
+            self.plan = plan if plan is not None else compiled.plan_for(self.capacity)
+        else:
+            if self.capacity < self.profile.tot:
+                raise SimulationError(
+                    "baseline mode needs capacity >= TOT "
+                    f"({self.capacity} < {self.profile.tot})"
+                )
+            self.plan = None
+        # MAPs by position per processor (tiny; per-simulator because the
+        # plan may be caller-provided).
         self._map_at: list[dict[int, MapPoint]] = [dict() for _ in range(self.p)]
         if self.plan is not None:
             for pts in self.plan.points:
                 for mp in pts:
                     self._map_at[mp.proc][mp.position] = mp
 
-        # Permanent footprint per processor (allocated for the whole run).
-        self._perm_bytes = [pp.perm_bytes for pp in self.profile.procs]
+    def _pid(self, task: str) -> str:
+        """Producer unit: commuting-group key or the task itself."""
+        return self.compiled.pid(task)
 
     # ------------------------------------------------------------------
     # dynamic execution
@@ -324,11 +465,16 @@ class Simulator:
 
     def run(self) -> SimResult:
         g, sched, spec = self.g, self.schedule, self.spec
-        assignment = sched.assignment
+        cs = self.compiled
         nprocs = self.p
+        # Hot-loop locals (closure lookups beat attribute lookups).
+        out_data, out_sync = cs.out_data, cs.out_sync
+        weight, write_version, consumes = cs.weight, cs.write_version, cs.consumes
+        REC, EXE, SND = ProcState.REC, ProcState.EXE, ProcState.SND
+        MAP, END, DONE = ProcState.MAP, ProcState.END, ProcState.DONE
+        wake_states = (REC, MAP, END)
 
-        # --- mutable state -------------------------------------------
-        now = 0.0
+        # --- mutable state (all run-local) ---------------------------
         seq = 0
         events: list[tuple] = []  # (time, seq, kind, payload)
 
@@ -337,26 +483,30 @@ class Simulator:
             heapq.heappush(events, (t, seq, kind, payload))
             seq += 1
 
-        state = [ProcState.REC] * nprocs
+        state = [REC] * nprocs
         idx = [0] * nprocs
         avail = [0.0] * nprocs  # earliest time of the next local action
         done: set[str] = set()
         stats = [ProcessorStats() for _ in range(nprocs)]
         alloc = [ObjectAllocator(self.capacity) for _ in range(nprocs)]
+        obj_size = cs.obj_size
         for q in range(nprocs):
-            if self._perm_bytes[q]:
-                alloc[q].alloc("<permanent>", self._perm_bytes[q])
+            if cs.perm_bytes[q]:
+                alloc[q].alloc("<permanent>", cs.perm_bytes[q])
         if not self.memory_managed:
             # Baseline: all volatile space allocated up-front.
             for q in range(nprocs):
                 for m in self.profile.procs[q].span:
-                    alloc[q].alloc(m, g.object(m).size)
+                    alloc[q].alloc(m, obj_size[m])
 
-        received_data: list[set[tuple[str, str]]] = [set() for _ in range(nprocs)]
+        #: received volatile contents: per processor, object -> versions.
+        received_data: list[dict[str, set[str]]] = [dict() for _ in range(nprocs)]
         received_sync: list[set[str]] = [set() for _ in range(nprocs)]
-        current_version: dict[str, Optional[str]] = {
-            o.name: None for o in g.objects()
-        }
+        #: countdown of unmet remote inputs per task (0 = ready).
+        pending_inputs = dict(cs.pending0)
+        data_waiters = cs.data_waiters
+        sync_waiters = cs.sync_waiters
+        current_version: dict[str, Optional[str]] = dict.fromkeys(obj_size)
         # Sender-side address knowledge: (obj, dest) pairs.
         addr_known: list[set[tuple[str, int]]] = [set() for _ in range(nprocs)]
         if not self.memory_managed or self.preknown_addresses:
@@ -372,15 +522,21 @@ class Simulator:
         # Packages a blocked MAP still has to send: (dst, objs).
         pending_pkgs: list[list[tuple[int, list[str]]]] = [[] for _ in range(nprocs)]
         map_pending: list[bool] = [False] * nprocs
-        need_count = [dict(d) for d in self._need_count]
+        # Position of the last MAP executed per processor (positions are
+        # strictly increasing, so this marks a MAP done without mutating
+        # the shared plan).
+        map_done = [-1] * nprocs
+        need_count = [dict(d) for d in cs.need_count0]
         finished_procs = 0
         last_task_finish = 0.0
 
         trace_log: Optional[list[TraceEvent]] = [] if self.trace_enabled else None
+        #: Guard every tr() call site so detail strings are only built
+        #: when tracing is on (f-string assembly is hot-loop work).
+        tracing = trace_log is not None
 
         def tr(t: float, q: int, kind: str, detail: str) -> None:
-            if trace_log is not None:
-                trace_log.append(TraceEvent(t, q, kind, detail))
+            trace_log.append(TraceEvent(t, q, kind, detail))
 
         # --- helpers ---------------------------------------------------
         def charge(q: int, t: float, cost: float) -> float:
@@ -398,7 +554,8 @@ class Simulator:
                 )
             t2 = charge(q, t, spec.send_overhead)
             stats[q].data_msgs_sent += 1
-            tr(t2, q, "send", f"{m}@{unit} -> P{dest} ({nbytes} B)")
+            if tracing:
+                tr(t2, q, "send", f"{m}@{unit} -> P{dest} ({nbytes} B)")
             if spec.nic_serialize:
                 start = max(nic_free[q], t2)
                 nic_free[q] = start + nbytes * spec.byte_time
@@ -445,10 +602,11 @@ class Simulator:
 
         def do_map(q: int, mp: MapPoint, t: float) -> None:
             stats[q].num_maps += 1
-            tr(
-                max(avail[q], t), q, "map",
-                f"@pos{mp.position} free={mp.frees} alloc={mp.allocs}",
-            )
+            if tracing:
+                tr(
+                    max(avail[q], t), q, "map",
+                    f"@pos{mp.position} free={mp.frees} alloc={mp.allocs}",
+                )
             cost = (
                 spec.map_overhead
                 + len(mp.frees) * spec.free_cost
@@ -459,9 +617,9 @@ class Simulator:
                 alloc[q].free(m)
                 # The content dies with the space; later arrivals of the
                 # same object would be protocol violations.
-                received_data[q] = {kv for kv in received_data[q] if kv[0] != m}
+                received_data[q].pop(m, None)
             for m in mp.allocs:
-                alloc[q].alloc(m, g.object(m).size)
+                alloc[q].alloc(m, obj_size[m])
             stats[q].peak_memory = max(stats[q].peak_memory, alloc[q].peak)
             if not self.preknown_addresses:
                 pending_pkgs[q].extend(
@@ -469,83 +627,79 @@ class Simulator:
                 )
                 map_pending[q] = True
 
-        def inputs_ready(q: int, task: str) -> bool:
-            for req in self._needs[task]:
-                if req[0] == "data":
-                    if (req[1], req[2]) not in received_data[q]:
-                        return False
-                else:
-                    if req[1] not in received_sync[q]:
-                        return False
-            return True
-
         def advance(q: int, t: float) -> None:
             nonlocal finished_procs
-            if state[q] in (ProcState.EXE, ProcState.DONE):
+            if state[q] is EXE or state[q] is DONE:
                 return
-            ra(q, t)
+            if inbox[q] or suspended[q]:
+                ra(q, t)
             order = sched.orders[q]
+            map_at = self._map_at[q]
             while True:
                 if map_pending[q]:
                     if not try_send_packages(q, max(avail[q], t)):
-                        state[q] = ProcState.MAP
+                        state[q] = MAP
                         return
                     map_pending[q] = False
                 if idx[q] >= len(order):
                     if suspended[q] or pending_pkgs[q]:
-                        state[q] = ProcState.END
+                        state[q] = END
                         return
-                    if state[q] != ProcState.DONE:
-                        state[q] = ProcState.DONE
+                    if state[q] is not DONE:
+                        state[q] = DONE
                         stats[q].finish_time = max(avail[q], t)
                         finished_procs += 1
-                        tr(stats[q].finish_time, q, "end", "all tasks drained")
+                        if tracing:
+                            tr(stats[q].finish_time, q, "end", "all tasks drained")
                     return
-                mp = self._map_at[q].get(idx[q])
-                if mp is not None and not getattr(mp, "_executed", False):
-                    mp._executed = True
+                mp = map_at.get(idx[q])
+                if mp is not None and map_done[q] < idx[q]:
+                    map_done[q] = idx[q]
                     do_map(q, mp, t)
                     continue
                 task = order[idx[q]]
-                if not inputs_ready(q, task):
-                    state[q] = ProcState.REC
+                if pending_inputs.get(task, 0):
+                    state[q] = REC
                     return
                 # EXE
-                state[q] = ProcState.EXE
-                w = g.task(task).weight
+                state[q] = EXE
+                w = weight[task]
                 start = max(avail[q], t)
                 stats[q].busy_time += w
                 avail[q] = start + w
-                tr(start, q, "start", task)
+                if tracing:
+                    tr(start, q, "start", task)
                 post(start + w, _TASK_DONE, (q, task))
                 return
 
         def complete(q: int, task: str, t: float) -> None:
             nonlocal last_task_finish
             done.add(task)
-            last_task_finish = max(last_task_finish, t)
+            if t > last_task_finish:
+                last_task_finish = t
             idx[q] += 1
-            for m in self.g.task(task).writes:
-                current_version[m] = self._pid(task)
+            stats[q].num_tasks += 1
+            for m, unit in write_version[task]:
+                current_version[m] = unit
             # Account consumed keys (stale-copy bookkeeping).
-            for req in self._needs[task]:
-                if req[0] == "data":
-                    key = (req[1], req[2])
-                    need_count[q][key] -= 1
+            nc = need_count[q]
+            for key in consumes[task]:
+                nc[key] -= 1
             # SND: issue messages triggered by this task.
-            state[q] = ProcState.SND
-            for m, unit, dest, nbytes in self._out_data.get(task, ()):
+            state[q] = SND
+            for m, unit, dest, nbytes in out_data.get(task, ()):
                 if (m, dest) in addr_known[q]:
                     dispatch_data(q, m, unit, dest, nbytes, t)
                 else:
                     suspended[q].append((m, unit, dest, nbytes))
                     stats[q].suspended_sends += 1
-                    tr(t, q, "suspend", f"{m}@{unit} -> P{dest} (no address)")
-            for unit, dest in self._out_sync.get(task, ()):
+                    if tracing:
+                        tr(t, q, "suspend", f"{m}@{unit} -> P{dest} (no address)")
+            for unit, dest in out_sync.get(task, ()):
                 t2 = charge(q, t, spec.send_overhead)
                 stats[q].sync_msgs_sent += 1
                 post(t2 + spec.put_latency, _DATA_ARRIVE, (dest, None, unit, q))
-            state[q] = ProcState.REC
+            state[q] = REC
             advance(q, max(avail[q], t))
 
         # --- bootstrap ---------------------------------------------------
@@ -555,14 +709,16 @@ class Simulator:
         # --- event loop --------------------------------------------------
         while events:
             t, _s, kind, payload = heapq.heappop(events)
-            now = t
             if kind == _TASK_DONE:
                 q, task = payload
                 complete(q, task, t)
             elif kind == _DATA_ARRIVE:
                 dest, m, unit, _src = payload
                 if m is None:
-                    received_sync[dest].add(unit)
+                    if unit not in received_sync[dest]:
+                        received_sync[dest].add(unit)
+                        for w_task in sync_waiters[dest].get(unit, ()):
+                            pending_inputs[w_task] -= 1
                 else:
                     if (
                         self.memory_managed
@@ -575,27 +731,30 @@ class Simulator:
                         # violation (data must land in allocated space).
                         raise SimulationError(
                             f"data for {m!r} arrived at P{dest} with no "
-                            f"allocated space (protocol violation)"
+                            "allocated space (protocol violation)"
                         )
                     # Stale-copy check: overwrite of an older version must
                     # not be needed by any pending local reader.
-                    for key in list(received_data[dest]):
-                        if key[0] == m and key[1] != unit:
-                            if need_count[dest].get(key, 0) > 0:
-                                raise DataConsistencyError(
-                                    f"P{dest} received {m!r}/{unit!r} while "
-                                    f"version {key[1]!r} is still needed"
-                                )
-                            received_data[dest].discard(key)
-                    received_data[dest].add((m, unit))
-                if state[dest] in (ProcState.REC, ProcState.MAP, ProcState.END):
+                    versions = received_data[dest].setdefault(m, set())
+                    for old in [u for u in versions if u != unit]:
+                        if need_count[dest].get((m, old), 0) > 0:
+                            raise DataConsistencyError(
+                                f"P{dest} received {m!r}/{unit!r} while "
+                                f"version {old!r} is still needed"
+                            )
+                        versions.discard(old)
+                    if unit not in versions:
+                        versions.add(unit)
+                        for w_task in data_waiters[dest].get((m, unit), ()):
+                            pending_inputs[w_task] -= 1
+                if state[dest] in wake_states:
                     advance(dest, t)
             elif kind == _ADDR_ARRIVE:
                 dst, src, objs = payload
                 inbox[dst][src] = objs
-                if state[dst] in (ProcState.REC, ProcState.MAP, ProcState.END):
+                if state[dst] in wake_states:
                     advance(dst, t)
-                elif state[dst] is ProcState.DONE:
+                elif state[dst] is DONE:
                     # A finished processor still reads packages so the
                     # sender's slot is released (defensive; should be
                     # unreachable when the graph has producers for every
@@ -604,12 +763,12 @@ class Simulator:
             elif kind == _SLOT_FREE:
                 src, dst = payload
                 slot_busy[src][dst] = False
-                if state[src] in (ProcState.MAP, ProcState.END, ProcState.REC):
+                if state[src] in wake_states:
                     advance(src, t)
 
         if finished_procs != nprocs:
             blocked = {
-                q: state[q].value for q in range(nprocs) if state[q] != ProcState.DONE
+                q: state[q].value for q in range(nprocs) if state[q] is not DONE
             }
             err = DeadlockError(blocked, len(done), self.g.num_tasks)
             # Attach a per-processor diagnosis (next task + unmet needs).
@@ -621,8 +780,8 @@ class Simulator:
                 if idx[q] < len(order):
                     task = order[idx[q]]
                     missing = []
-                    for req in self._needs[task]:
-                        if req[0] == "data" and (req[1], req[2]) not in received_data[q]:
+                    for req in cs.needs[task]:
+                        if req[0] == "data" and req[2] not in received_data[q].get(req[1], ()):
                             missing.append(f"data {req[1]}@{req[2]}")
                         elif req[0] == "sync" and req[1] not in received_sync[q]:
                             missing.append(f"sync {req[1]}")
@@ -645,12 +804,6 @@ class Simulator:
                     f"capacity {self.capacity}"
                 )
         pt = max((s.finish_time for s in stats), default=0.0)
-        # Clear the per-run MAP execution marks so plans can be re-used.
-        if self.plan is not None:
-            for pts in self.plan.points:
-                for mp in pts:
-                    if hasattr(mp, "_executed"):
-                        del mp._executed
         if trace_log is not None:
             trace_log.sort(key=lambda e: (e.time, e.proc))
         return SimResult(

@@ -31,7 +31,6 @@ def grid_laplacian_2d(k: int, stencil: int = 5) -> sp.csr_matrix:
     """SPD Laplacian of a ``k x k`` grid (5- or 9-point stencil)."""
     if stencil not in (5, 9):
         raise ValueError("stencil must be 5 or 9")
-    n = k * k
     main = sp.eye(k, format="csr")
     off = sp.diags([1.0, 1.0], [-1, 1], shape=(k, k), format="csr")
     a = sp.kron(main, off) + sp.kron(off, main)
@@ -96,8 +95,8 @@ def convection_diffusion_2d(k: int, wind: float = 4.0, seed: int = 0) -> sp.csr_
     shift keeps the operator comfortably nonsingular.
     """
     rng = np.random.default_rng(seed)
-    a = grid_laplacian_2d(k, 5)
     n = k * k
+    a = grid_laplacian_2d(k, 5)
     # Skew the off-diagonal couplings to break symmetry.
     coo = a.tocoo()
     data = coo.data.copy()

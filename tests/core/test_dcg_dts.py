@@ -11,6 +11,7 @@ from repro.core import (
 )
 from repro.core.dcg import build_dcg, slice_volatile_space, task_association
 from repro.core.dts import dts_space_bound, merge_slices
+from repro.errors import SchedulingError
 from repro.graph import GraphBuilder
 from repro.graph.generators import chain, random_trace
 from repro.graph.paper_example import (
@@ -110,6 +111,60 @@ class TestMergeSlices:
         after [3,3] fills the budget of 6, slice 2 starts fresh with
         req=1 and slice 3 merges into it (1+3 <= 6)."""
         assert merge_slices([3, 3, 1, 3], avail_volatile=6) == [0, 0, 1, 1]
+
+    def test_over_budget_slice_raises(self):
+        """A single slice above the budget can never execute; merging
+        must fail loudly instead of emitting a non-executable slicing."""
+        with pytest.raises(SchedulingError):
+            merge_slices([3, 9, 3], avail_volatile=6)
+
+    def test_non_positive_budget_raises(self):
+        with pytest.raises(SchedulingError):
+            merge_slices([1, 2], avail_volatile=0)
+        with pytest.raises(SchedulingError):
+            merge_slices([1, 2], avail_volatile=-4)
+
+    def test_dts_order_falls_back_to_unmerged(self):
+        """dts_order with a capacity too small for merging degrades to
+        plain DTS instead of raising (downstream MIN_MEM checks decide
+        executability)."""
+        g = paper_example_graph()
+        pl = paper_placement()
+        asg = paper_assignment(g, pl)
+        plain = dts_order(g, pl, asg)
+        tiny = dts_order(g, pl, asg, avail_mem=1)
+        assert tiny.meta["heuristic"] == "DTS"
+        assert tiny.orders == plain.orders
+
+
+class TestDeterminism:
+    def test_dts_order_is_hash_seed_independent(self):
+        """The DCG condensation (and hence the DTS slice order) must not
+        depend on the interpreter's string hash seed — sweeps have to be
+        reproducible across invocations and worker processes."""
+        import os
+        import subprocess
+        import sys
+
+        prog = (
+            "from repro.graph.generators import random_trace\n"
+            "from repro.core import cyclic_placement, dts_order, "
+            "owner_compute_assignment\n"
+            "g = random_trace(60, 12, seed=3)\n"
+            "pl = cyclic_placement(g, 3)\n"
+            "s = dts_order(g, pl, owner_compute_assignment(g, pl))\n"
+            "print(repr(s.orders))\n"
+        )
+        outs = set()
+        for seed in ("0", "1", "12345"):
+            env = dict(os.environ, PYTHONHASHSEED=seed)
+            env["PYTHONPATH"] = os.pathsep.join(sys.path)
+            out = subprocess.run(
+                [sys.executable, "-c", prog],
+                capture_output=True, text=True, check=True, env=env,
+            ).stdout
+            outs.add(out)
+        assert len(outs) == 1
 
 
 class TestDTS:

@@ -1,6 +1,5 @@
 """Unit tests for dependence-structure memory accounting."""
 
-import pytest
 
 from repro.core import cyclic_placement, mpo_order, owner_compute_assignment
 from repro.core.depmem import (

@@ -16,8 +16,6 @@ from repro.core import (
 from repro.core.listsched import StaticPolicy, run_list_scheduler
 from repro.core.mpo import MemoryPriorityPolicy
 from repro.errors import SchedulingError
-from repro.graph import GraphBuilder
-from repro.graph.analysis import is_topological
 from repro.graph.generators import chain, fork_join, layered_random, random_trace
 from repro.graph.paper_example import (
     paper_assignment,
@@ -37,7 +35,6 @@ class TestEngine:
         g = random_trace(60, 12, seed=1)
         pl, asg = setup(g, 3)
         s = rcp_order(g, pl, asg)
-        merged = []
         pos = s.position()
         # every dependence edge must respect processor-local positions
         for u, v, _ in g.edges():

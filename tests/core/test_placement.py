@@ -108,8 +108,6 @@ class TestOwnerCompute:
                 assert derived[o] == pl[o]
 
     def test_derive_placement_conflict(self):
-        g = two_proc_graph()
-        asg = {"wa": 0, "wb": 1, "r": 0}
         # make both writers write 'a' on different procs
         b = GraphBuilder(materialize_inputs=False)
         b.add_object("a")

@@ -12,7 +12,6 @@ from repro.core import (
 )
 from repro.core.placement import placement_from_dict
 from repro.errors import SchedulingError
-from repro.graph import GraphBuilder
 from repro.graph.generators import chain, fork_join
 
 

@@ -32,3 +32,13 @@ def test_comparison_both_apps(capsys):
 def test_table8_path(capsys):
     assert main(["table8"]) == 0
     assert "Table 8" in capsys.readouterr().out
+
+
+def test_sweep_jobs_identical_output(tmp_path, capsys):
+    """`sweep --jobs 2` writes byte-identical CSV to the serial run."""
+    serial = tmp_path / "serial.csv"
+    parallel = tmp_path / "parallel.csv"
+    assert main(["sweep", "--procs", "4", "--out", str(serial)]) == 0
+    assert main(["sweep", "--procs", "4", "--jobs", "2", "--out", str(parallel)]) == 0
+    capsys.readouterr()
+    assert serial.read_bytes() == parallel.read_bytes()

@@ -5,7 +5,7 @@ import math
 import pytest
 
 from repro.experiments import ExperimentContext
-from repro.experiments.sweep import FIELDS, SweepRecord, from_csv, full_sweep, to_csv
+from repro.experiments.sweep import FIELDS, from_csv, full_sweep, to_csv
 
 
 @pytest.fixture(scope="module")
@@ -41,6 +41,47 @@ class TestFullSweep:
         # exceeds RCP's on this workload
         for p in (4, 8):
             assert by[("mpo", p, 1.0)].min_mem <= by[("rcp", p, 1.0)].min_mem
+
+
+class TestParallelSweep:
+    """The process-parallel executor must reproduce the serial sweep
+    bit for bit, in the same order."""
+
+    def _grid(self):
+        return dict(
+            workloads=("lu-goodwin",),
+            procs=(4, 8),
+            heuristics=("rcp", "mpo"),
+            fractions=(1.0, 0.5),
+        )
+
+    def test_jobs2_identical_records(self, records):
+        par = full_sweep(ExperimentContext(), jobs=2, **self._grid())
+        assert par == records
+
+    def test_jobs2_identical_csv_bytes(self, records):
+        par = full_sweep(ExperimentContext(), jobs=2, **self._grid())
+        assert to_csv(par) == to_csv(records)
+
+    def test_jobs_zero_means_all_cpus(self, records):
+        par = full_sweep(ExperimentContext(), jobs=0, **self._grid())
+        assert par == records
+
+    def test_single_group_runs_serially(self):
+        """One (workload, procs) group short-circuits to the serial
+        path even with jobs > 1."""
+        ctx = ExperimentContext()
+        recs = full_sweep(
+            ctx,
+            workloads=("lu-goodwin",),
+            procs=(4,),
+            heuristics=("rcp",),
+            fractions=(1.0,),
+            jobs=4,
+        )
+        assert len(recs) == 1
+        # The serial path populated this context's own caches.
+        assert ctx._sims
 
 
 class TestCSV:

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.graph import GraphBuilder
 from repro.graph.analysis import (
     b_levels,
     critical_path_length,

@@ -4,10 +4,7 @@ import pytest
 
 from repro.core import (
     analyze_memory,
-    dts_order,
     gantt,
-    mpo_order,
-    rcp_order,
 )
 from repro.core.dts import dts_space_bound
 from repro.graph.analysis import depth, is_topological

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core import analyze_memory, gantt, mpo_order
-from repro.core import cyclic_placement, owner_compute_assignment
+from repro.core import owner_compute_assignment
 from repro.graph.generators import chain, reduction_tree
 from repro.graph.repeat import base_name, iter_name, repeat_graph, repeat_schedule
 from repro.machine import UNIT_MACHINE, simulate
@@ -38,7 +38,7 @@ class TestRepeatGraph:
         g = reduction_tree(3)
         rg = repeat_graph(g, 2)
         groups = rg.commute_groups()
-        assert f"acc-sum#it0" in groups and f"acc-sum#it1" in groups
+        assert "acc-sum#it0" in groups and "acc-sum#it1" in groups
         assert len(groups["acc-sum#it0"]) == 3
 
     def test_bad_n(self):

@@ -1,0 +1,163 @@
+"""Plan / simulator reuse and compiled-schedule tests.
+
+Regression suite for two state-leakage bugs and for the
+:class:`~repro.machine.simulator.CompiledSchedule` layer:
+
+* MAP execution marks used to be stored on the shared
+  :class:`~repro.core.maps.MapPoint` objects and were only cleared when
+  a run *succeeded* — after a failed run a reused plan silently skipped
+  every already-marked MAP.  Execution progress is now run-local.
+* ``SimResult.avg_maps`` excluded processors by ``busy_time > 0 or
+  num_maps`` while ``MapPlan.avg_maps`` excluded empty task orders; the
+  two now share the non-empty-order rule.
+"""
+
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.core import analyze_memory, cyclic_placement, mpo_order, owner_compute_assignment
+from repro.core.maps import plan_maps
+from repro.errors import ReproError, SimulationError
+from repro.graph.generators import random_trace
+from repro.graph.paper_example import paper_example_graph, schedule_c
+from repro.machine import CompiledSchedule, ProcessorStats, SimResult, Simulator
+from repro.machine.spec import UNIT_MACHINE
+
+
+def paper_setup():
+    g = paper_example_graph()
+    return schedule_c(g)
+
+
+class TestPlanReuse:
+    def test_plan_survives_failed_run(self):
+        """A plan made for capacity 8, replayed under capacity 7, fails
+        mid-run — and must still execute correctly afterwards."""
+        sc = paper_setup()
+        plan = plan_maps(sc, 8)
+        with pytest.raises(ReproError):
+            Simulator(sc, spec=UNIT_MACHINE, capacity=7, plan=plan).run()
+        # The same plan object, at the capacity it was made for.
+        reused = Simulator(sc, spec=UNIT_MACHINE, capacity=8, plan=plan).run()
+        fresh = Simulator(sc, spec=UNIT_MACHINE, capacity=8).run()
+        assert reused.parallel_time == fresh.parallel_time
+        assert [s.num_maps for s in reused.stats] == [
+            s.num_maps for s in fresh.stats
+        ]
+
+    def test_failure_is_repeatable(self):
+        """A failing configuration fails the same way every run — no
+        state carries over between attempts."""
+        sc = paper_setup()
+        plan = plan_maps(sc, 8)
+        sim = Simulator(sc, spec=UNIT_MACHINE, capacity=7, plan=plan)
+        for _ in range(3):
+            with pytest.raises(ReproError):
+                sim.run()
+
+    def test_two_simulators_share_one_plan(self):
+        sc = paper_setup()
+        plan = plan_maps(sc, 8)
+        r1 = Simulator(sc, spec=UNIT_MACHINE, capacity=8, plan=plan).run()
+        r2 = Simulator(sc, spec=UNIT_MACHINE, capacity=8, plan=plan).run()
+        assert r1.parallel_time == r2.parallel_time
+        assert r1.avg_maps == r2.avg_maps
+        assert [s.num_maps for s in r1.stats] == [s.num_maps for s in r2.stats]
+        assert [s.busy_time for s in r1.stats] == [s.busy_time for s in r2.stats]
+
+    def test_one_simulator_runs_repeatedly(self):
+        g = random_trace(60, 10, seed=11)
+        pl = cyclic_placement(g, 3)
+        s = mpo_order(g, pl, owner_compute_assignment(g, pl))
+        prof = analyze_memory(s)
+        sim = Simulator(s, spec=UNIT_MACHINE, capacity=prof.min_mem, profile=prof)
+        results = [sim.run() for _ in range(3)]
+        assert len({r.parallel_time for r in results}) == 1
+        assert len({r.avg_maps for r in results}) == 1
+
+    def test_concurrent_runs_of_one_simulator(self):
+        """run() state is fully run-local: parallel runs of one
+        Simulator object all produce the reference result."""
+        g = random_trace(80, 12, seed=5)
+        pl = cyclic_placement(g, 4)
+        s = mpo_order(g, pl, owner_compute_assignment(g, pl))
+        prof = analyze_memory(s)
+        sim = Simulator(s, spec=UNIT_MACHINE, capacity=prof.min_mem, profile=prof)
+        reference = sim.run()
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            results = list(pool.map(lambda _i: sim.run(), range(8)))
+        for r in results:
+            assert r.parallel_time == reference.parallel_time
+            assert [s.num_maps for s in r.stats] == [
+                s.num_maps for s in reference.stats
+            ]
+
+
+class TestCompiledSchedule:
+    def test_compiled_matches_direct(self):
+        sc = paper_setup()
+        cs = CompiledSchedule(sc)
+        for cap in (8, 9, 12):
+            direct = Simulator(sc, spec=UNIT_MACHINE, capacity=cap).run()
+            via = Simulator(spec=UNIT_MACHINE, capacity=cap, compiled=cs).run()
+            assert via.parallel_time == direct.parallel_time
+            assert via.avg_maps == direct.avg_maps
+            assert via.peak_memory == direct.peak_memory
+
+    def test_plan_memoised_per_capacity(self):
+        cs = CompiledSchedule(paper_setup())
+        assert cs.plan_for(8) is cs.plan_for(8)
+        assert cs.plan_for(8) is not cs.plan_for(9)
+
+    def test_mismatched_schedule_rejected(self):
+        sc = paper_setup()
+        g2 = random_trace(20, 5, seed=3)
+        pl = cyclic_placement(g2, 2)
+        other = mpo_order(g2, pl, owner_compute_assignment(g2, pl))
+        cs = CompiledSchedule(other)
+        with pytest.raises(SimulationError):
+            Simulator(sc, spec=UNIT_MACHINE, compiled=cs)
+
+    def test_needs_schedule_or_compiled(self):
+        with pytest.raises(SimulationError):
+            Simulator(spec=UNIT_MACHINE)
+
+
+class TestAvgMapsRule:
+    def test_simresult_uses_nonempty_order_rule(self):
+        """A processor whose tasks are all zero-weight (busy_time 0, no
+        MAPs in baseline mode) still counts toward the average; only
+        task-less processors are excluded — matching MapPlan.avg_maps."""
+        stats = [
+            ProcessorStats(busy_time=1.0, num_maps=2, num_tasks=3),
+            ProcessorStats(busy_time=0.0, num_maps=0, num_tasks=2),  # zero-weight tasks
+            ProcessorStats(busy_time=0.0, num_maps=0, num_tasks=0),  # no tasks
+        ]
+        res = SimResult(
+            parallel_time=1.0,
+            task_finish_time=1.0,
+            stats=stats,
+            capacity=10,
+            memory_managed=False,
+        )
+        # Old rule averaged over {P0} -> 2.0; the unified rule averages
+        # over {P0, P1} -> 1.0.
+        assert res.avg_maps == pytest.approx(1.0)
+
+    def test_simresult_agrees_with_plan(self):
+        sc = paper_setup()
+        for cap in (8, 9, 12):
+            res = Simulator(sc, spec=UNIT_MACHINE, capacity=cap).run()
+            assert res.avg_maps == pytest.approx(res.plan.avg_maps)
+
+    def test_zero_task_processor_excluded(self):
+        from repro.core import rcp_order
+        from repro.graph.generators import chain
+
+        g = chain(3)
+        pl = cyclic_placement(g, 4)  # more procs than tasks
+        s = rcp_order(g, pl, owner_compute_assignment(g, pl))
+        res = Simulator(s, spec=UNIT_MACHINE).run()
+        assert res.avg_maps == pytest.approx(res.plan.avg_maps)
+        assert all(st.num_tasks == len(o) for st, o in zip(res.stats, s.orders))

@@ -12,11 +12,9 @@ from repro.core import (
     rcp_order,
 )
 from repro.errors import NonExecutableScheduleError, SimulationError
-from repro.graph import GraphBuilder
 from repro.graph.generators import chain, random_trace, reduction_tree
 from repro.graph.paper_example import paper_example_graph, schedule_b, schedule_c
 from repro.machine import CRAY_T3D, MachineSpec, UNIT_MACHINE, simulate
-from repro.machine.spec import UNIT_MACHINE as UM
 
 
 def setup(g, p, order=mpo_order):

@@ -19,7 +19,7 @@ from repro.errors import (
 from repro.graph import GraphBuilder
 from repro.graph.generators import random_trace
 from repro.graph.paper_example import paper_example_graph, schedule_c
-from repro.machine import Simulator, UNIT_MACHINE, simulate
+from repro.machine import Simulator, UNIT_MACHINE
 from repro.core import cyclic_placement, owner_compute_assignment
 
 

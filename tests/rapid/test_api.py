@@ -7,7 +7,7 @@ from repro.errors import NonExecutableScheduleError, SchedulingError
 from repro.machine.spec import UNIT_MACHINE
 from repro.rapid import Rapid, parallelize
 from repro.rapid.executor import execute_serial, global_order
-from repro.rapid.inspector import HEURISTICS, order_with
+from repro.rapid.inspector import HEURISTICS
 from repro.graph.generators import random_trace
 
 

@@ -1,12 +1,10 @@
 """Integration tests: block Cholesky / LU task graphs and numerics."""
 
-import numpy as np
 import pytest
 
 from repro.core import (
     analyze_memory,
     dts_order,
-    gantt,
     mpo_order,
     rcp_order,
 )
@@ -15,7 +13,6 @@ from repro.core.dts import dts_space_bound
 from repro.core.placement import validate_owner_compute
 from repro.graph.builder import is_source_task
 from repro.machine import UNIT_MACHINE, simulate
-from repro.machine.spec import MachineSpec
 from repro.rapid.executor import execute_schedule, execute_serial
 from repro.sparse.blocks import BlockPartition
 from repro.sparse.cholesky import build_cholesky

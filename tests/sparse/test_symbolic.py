@@ -9,7 +9,6 @@ from repro.sparse.matrices import (
     convection_diffusion_2d,
     grid_laplacian_2d,
     perturbed_grid_spd,
-    random_spd,
 )
 from repro.sparse.ordering import (
     apply_ordering,

@@ -10,7 +10,6 @@ from repro.core import (
     mpo_order,
     rcp_order,
 )
-from repro.core.dcg import build_dcg
 from repro.machine import UNIT_MACHINE, simulate
 from repro.rapid.executor import execute_schedule, execute_serial
 from repro.sparse.cholesky import build_cholesky

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.apps.cg import CGProblem, build_cg, cg_solve
+from repro.apps.cg import build_cg, cg_solve
 from repro.core import analyze_memory, dts_order, mpo_order, rcp_order
 from repro.core.placement import validate_owner_compute
 from repro.graph.repeat import repeat_graph, repeat_schedule

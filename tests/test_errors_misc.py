@@ -1,6 +1,5 @@
 """Tests for the error hierarchy and miscellaneous surfaces."""
 
-import pytest
 
 from repro import errors
 

@@ -10,7 +10,7 @@ from repro.core import (
     rcp_order,
 )
 from repro.machine import UNIT_MACHINE, simulate
-from repro.nbody import NBodyProblem, build_nbody, cell_name, force_name
+from repro.nbody import build_nbody, cell_name, force_name
 from repro.rapid.executor import execute_schedule, execute_serial
 
 ORDERINGS = (rcp_order, mpo_order, dts_order)

@@ -75,7 +75,6 @@ class TestNewton:
         """Re-populating the panel store equals rebuilding the problem
         from the new matrix (structure reuse is value-exact)."""
         from repro.rapid.executor import execute_serial
-        from repro.sparse.lu import build_lu
 
         rng = np.random.default_rng(2)
         u = rng.normal(scale=0.1, size=bratu.n)
