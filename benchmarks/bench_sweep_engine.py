@@ -10,9 +10,13 @@ performance trajectory of the engine can be compared across PRs::
     PYTHONPATH=src python benchmarks/bench_sweep_engine.py
     PYTHONPATH=src python -m pytest benchmarks/bench_sweep_engine.py -q
 
-The JSON schema is ``repro-bench-sweep/1`` (see EXPERIMENTS.md for the
+The JSON schema is ``repro-bench-sweep/2`` (see EXPERIMENTS.md for the
 field-by-field description).  Infinities are serialised as the string
-``"inf"``, matching the sweep CSV convention.
+``"inf"``, matching the sweep CSV convention.  Version 2 adds the
+``instrumentation`` section: the cost of the :mod:`repro.obs` telemetry
+layer — a plain run, a run with the disabled ``NULL_INSTRUMENT``
+attached (must be free: both take the ``observing = False`` fast path)
+and a fully instrumented ``metrics=True`` run.
 
 ``SEED_BASELINE`` holds reference timings of the pre-optimisation
 engine, measured back-to-back with the optimised engine on the same
@@ -111,6 +115,63 @@ def bench_single_runs() -> dict:
     return out
 
 
+#: Repeats for the instrumentation micro-benchmark (best-of is
+#: reported, so more repeats only tighten the numbers).
+INSTRUMENTATION_REPEATS = 7
+
+
+def bench_instrumentation() -> dict:
+    """Cost of the telemetry layer on one large-workload run.
+
+    Three configurations of the *same* compiled schedule: plain
+    (``metrics=False``, nothing attached), ``NULL_INSTRUMENT`` attached
+    (disabled — must ride the same ``observing = False`` fast path) and
+    ``metrics=True`` (the full :class:`~repro.obs.instruments.MetricsSuite`
+    plus document building).  Best-of-``INSTRUMENTATION_REPEATS``
+    timings; the ratios are the headline numbers.
+    """
+    from repro.obs import NULL_INSTRUMENT
+
+    ctx = ExperimentContext()
+    key = "lu-goodwin"
+    prof = ctx.profile(key, SINGLE_RUN_PROCS, "rcp")
+    capacity = int(math.floor(prof.tot * SINGLE_RUN_FRACTION))
+    cs = CompiledSchedule(ctx.schedule(key, SINGLE_RUN_PROCS, "rcp"), profile=prof)
+
+    sims = {
+        "plain": Simulator(spec=ctx.spec, capacity=capacity, compiled=cs),
+        "null": Simulator(
+            spec=ctx.spec, capacity=capacity, compiled=cs,
+            instrument=NULL_INSTRUMENT,
+        ),
+        "metrics": Simulator(
+            spec=ctx.spec, capacity=capacity, compiled=cs, metrics=True
+        ),
+    }
+    # Interleave the configurations round-robin so ambient load hits
+    # all three equally; best-of then discards the noisy repeats.
+    best = dict.fromkeys(sims, float("inf"))
+    for _ in range(INSTRUMENTATION_REPEATS):
+        for name, sim in sims.items():
+            t0 = time.perf_counter()
+            sim.run()
+            dt = time.perf_counter() - t0
+            if dt < best[name]:
+                best[name] = dt
+    plain_s, null_s, metrics_s = best["plain"], best["null"], best["metrics"]
+    return {
+        "workload": key,
+        "procs": SINGLE_RUN_PROCS,
+        "fraction": SINGLE_RUN_FRACTION,
+        "repeats": INSTRUMENTATION_REPEATS,
+        "plain_s": round(plain_s, 4),
+        "null_instrument_s": round(null_s, 4),
+        "metrics_s": round(metrics_s, 4),
+        "null_vs_plain": round(null_s / plain_s, 3),
+        "metrics_vs_plain": round(metrics_s / plain_s, 3),
+    }
+
+
 def bench_sweep() -> dict:
     """Serial sweep with per-cell timings, then the parallel executor;
     asserts the two produce identical records and CSV bytes."""
@@ -184,6 +245,7 @@ def bench_sweep() -> dict:
 
 def run_benchmark(out_path: pathlib.Path = OUT_PATH) -> dict:
     single = bench_single_runs()
+    instrumentation = bench_instrumentation()
     sweep = bench_sweep()
     seed = SEED_BASELINE
     comparison = {
@@ -197,7 +259,7 @@ def run_benchmark(out_path: pathlib.Path = OUT_PATH) -> dict:
             seed["single_run"][key]["best_run_s"] / single[key]["best_run_s"], 2
         )
     report = {
-        "schema": "repro-bench-sweep/1",
+        "schema": "repro-bench-sweep/2",
         "generated_utc": datetime.now(timezone.utc).isoformat(timespec="seconds"),
         "machine": {
             "python": platform.python_version(),
@@ -212,6 +274,7 @@ def run_benchmark(out_path: pathlib.Path = OUT_PATH) -> dict:
             "reference": REFERENCE,
         },
         "single_run": single,
+        "instrumentation": instrumentation,
         "sweep": sweep,
         "seed_baseline": seed,
         "speedup_vs_seed": comparison,
@@ -224,16 +287,28 @@ def test_sweep_engine_benchmark():
     report = run_benchmark()
     assert report["sweep"]["identical_to_serial"]
     assert report["sweep"]["speedup"] > 1.0
+    # The disabled-instrument path must be effectively free.  The hard
+    # budget is ~2%; the assertion bound is deliberately loose so a
+    # noisy CI host does not flake — the recorded ratio is the number
+    # that matters across PRs.
+    assert report["instrumentation"]["null_vs_plain"] < 1.25
+    # Full metrics collection should stay within a small constant
+    # factor of the plain run.
+    assert report["instrumentation"]["metrics_vs_plain"] < 5.0
     assert OUT_PATH.exists()
 
 
 if __name__ == "__main__":
     report = run_benchmark()
     sw = report["sweep"]
+    inst = report["instrumentation"]
     print(f"serial sweep   : {sw['serial_s']:.2f}s")
     print(f"parallel sweep : {sw['parallel_s']:.2f}s (jobs={sw['jobs']})")
     print(f"speedup        : {sw['speedup']:.2f}x"
           f"  (identical: {sw['identical_to_serial']})")
+    print(f"instrumentation: plain {inst['plain_s']*1e3:.1f}ms | "
+          f"null x{inst['null_vs_plain']:.3f} | "
+          f"metrics x{inst['metrics_vs_plain']:.3f}")
     for k, v in report["speedup_vs_seed"].items():
         print(f"{k:24s}: {v:.2f}x")
     print(f"wrote {OUT_PATH}")

@@ -9,6 +9,9 @@ Usage::
     python -m repro table8
     python -m repro example            # the Figure 2/3/5 walkthrough
     python -m repro all                # everything (a few minutes)
+    python -m repro sweep --jobs 0 --metrics   # grid CSV + telemetry columns
+    python -m repro trace --metrics metrics.json --trace-out trace.json \
+        --report report.html           # one instrumented run, exported
 """
 
 from __future__ import annotations
@@ -99,6 +102,62 @@ def _render_example_svgs(out_dir: str) -> list[str]:
     return written
 
 
+def _run_trace(args) -> int:
+    """One instrumented simulation; export metrics / Chrome trace / report."""
+    import math
+
+    from .machine.simulator import Simulator
+    from .obs import html_report, to_json, write_chrome_trace
+
+    if args.workload == "paper":
+        from .graph.paper_example import schedule_c
+        from .machine.spec import UNIT_MACHINE
+
+        sim = Simulator(schedule_c(), spec=UNIT_MACHINE, capacity=8, metrics=True)
+    else:
+        ctx = ExperimentContext()
+        p = args.procs[0] if args.procs else 4
+        prof = ctx.profile(args.workload, p, args.heuristic)
+        capacity = int(math.floor(prof.tot * args.fraction))
+        if prof.min_mem > capacity:
+            print(
+                f"not executable: MIN_MEM {prof.min_mem} > capacity {capacity} "
+                f"({args.fraction:.0%} of TOT {prof.tot})",
+                file=sys.stderr,
+            )
+            return 2
+        sim = Simulator(
+            spec=ctx.spec,
+            capacity=capacity,
+            compiled=ctx.compiled(args.workload, p, args.heuristic),
+            metrics=True,
+        )
+    res = sim.run()
+    s = res.metrics["summary"]
+    print(
+        f"{res.schedule_label}: PT={res.parallel_time:g} "
+        f"map_overhead={s['map_overhead_frac']:.4%} max_hwm={s['max_hwm']} "
+        f"max_suspq={s['max_suspq']} utilization={s['utilization']:.2%}"
+    )
+    wrote = False
+    if args.metrics is not None:
+        path = args.metrics or "metrics.json"
+        to_json(res.metrics, path)
+        print(f"wrote {path}")
+        wrote = True
+    if args.trace_out:
+        write_chrome_trace(res, args.trace_out)
+        print(f"wrote {args.trace_out} (open at ui.perfetto.dev)")
+        wrote = True
+    if args.report:
+        html_report(res, args.report)
+        print(f"wrote {args.report}")
+        wrote = True
+    if not wrote:
+        print("(no --metrics/--trace-out/--report given; summary only)")
+    return 0
+
+
 def run_experiment(name: str, ctx: ExperimentContext, args) -> str:
     procs = tuple(args.procs) if args.procs else None
     if name == "table1":
@@ -146,11 +205,33 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                              "--jobs 1)")
     parser.add_argument("--out", default=".",
                         help="output directory for the 'svg' command")
+    parser.add_argument("--metrics", nargs="?", const="", default=None,
+                        metavar="PATH",
+                        help="sweep: add per-cell telemetry columns to the "
+                             "CSV; trace: write the metrics JSON to PATH "
+                             "(default metrics.json)")
+    parser.add_argument("--trace-out", default=None, metavar="PATH",
+                        help="trace: write a Chrome trace_event JSON "
+                             "(load at ui.perfetto.dev)")
+    parser.add_argument("--report", default=None, metavar="PATH",
+                        help="trace: write a standalone HTML telemetry report")
+    parser.add_argument("--workload", default="paper",
+                        help="trace: workload key ('paper' = the Figure 2 "
+                             "example; else chol15/chol24/lu-goodwin)")
+    parser.add_argument("--heuristic", default="mpo",
+                        choices=("rcp", "mpo", "dts"),
+                        help="trace: ordering heuristic")
+    parser.add_argument("--fraction", type=float, default=0.5,
+                        help="trace: memory capacity as a fraction of TOT")
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
-        print("\n".join(EXPERIMENTS + ("example", "svg", "sweep", "validate")))
+        print("\n".join(
+            EXPERIMENTS + ("example", "svg", "sweep", "trace", "validate")
+        ))
         return 0
+    if args.experiment == "trace":
+        return _run_trace(args)
     if args.experiment == "example":
         print(_paper_example_walkthrough())
         return 0
@@ -174,6 +255,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             ctx,
             procs=tuple(args.procs) if args.procs else (2, 4, 8, 16, 32),
             jobs=args.jobs,
+            metrics=args.metrics is not None,
         )
         out = pathlib.Path(args.out)
         target = out / "sweep.csv" if out.is_dir() or not out.suffix else out

@@ -99,6 +99,34 @@ class MapPlan:
     def map_positions(self, proc: int) -> list[int]:
         return [m.position for m in self.points[proc]]
 
+    def predicted_peaks(self) -> list[int]:
+        """Statically predicted per-processor peak memory of *executing*
+        this plan: permanent bytes plus the high-water of replaying each
+        MAP's frees-then-allocs.
+
+        Because a MAP frees before it allocates and allocations only
+        grow the footprint until the next MAP, the running total after
+        each MAP's allocations is the exact peak between MAPs.  The
+        dynamic execution must observe exactly these peaks — the
+        :class:`~repro.obs.instruments.MemoryTimeline` instrument's
+        high-water marks are asserted equal in the property tests.  At
+        ``capacity == MIN_MEM`` the maximum over processors equals the
+        liveness-derived ``MEM_REQ`` peak (Definition 5)."""
+        g = self.schedule.graph
+        peaks: list[int] = []
+        for p, pts in enumerate(self.points):
+            used = self.profile.procs[p].perm_bytes
+            peak = used
+            for mp in pts:
+                for o in mp.frees:
+                    used -= g.object(o).size
+                for o in mp.allocs:
+                    used += g.object(o).size
+                if used > peak:
+                    peak = used
+            peaks.append(peak)
+        return peaks
+
 
 def plan_maps(
     schedule: Schedule,

@@ -7,9 +7,12 @@ Produces standalone SVG documents (no matplotlib) for:
   task family (the prefix before ``(`` or ``[``);
 * :func:`memory_svg` — the ``MEM_REQ`` step curves of a memory profile
   (one polyline per processor) with optional capacity and ``MIN_MEM``
-  rules — the picture behind Definitions 4-6.
+  rules — the picture behind Definitions 4-6;
+* :func:`stacked_bars_svg` / :func:`step_curves_svg` — generic building
+  blocks (horizontal 100%-stacked bars, step-function time series) used
+  by the telemetry report of :mod:`repro.obs.report`.
 
-Both return the SVG text and optionally write it to a file.
+All return the SVG text and optionally write it to a file.
 """
 
 from __future__ import annotations
@@ -102,6 +105,133 @@ def gantt_svg(
         tx = ms * i / 4
         x = margin_l + tx * scale
         body.append(f'<text x="{x:.0f}" y="{axis_y}">{tx:g}</text>')
+    doc = _document(body, width, height)
+    if path:
+        with open(path, "w") as fh:
+            fh.write(doc)
+    return doc
+
+
+def stacked_bars_svg(
+    rows: list[tuple[str, dict[str, float]]],
+    colors: Optional[dict[str, str]] = None,
+    path: Optional[str] = None,
+    width: int = 960,
+    bar_height: int = 22,
+    title: str = "",
+) -> str:
+    """Horizontal stacked bars, one per row, normalised to each row's
+    total.  ``rows`` is ``[(label, {category: value}), ...]``; categories
+    keep their first-seen order and share one legend."""
+    cats: list[str] = []
+    for _label, parts in rows:
+        for c in parts:
+            if c not in cats:
+                cats.append(c)
+    if colors is None:
+        colors = {c: _PALETTE[i % len(_PALETTE)] for i, c in enumerate(cats)}
+    margin_l, margin_t = 64, 24
+    plot_w = width - margin_l - 12
+    height = margin_t + len(rows) * (bar_height + 6) + 26
+    body: list[str] = []
+    if title:
+        body.append(f'<text x="{margin_l}" y="14">{html.escape(title)}</text>')
+    for i, (label, parts) in enumerate(rows):
+        y = margin_t + i * (bar_height + 6)
+        body.append(f'<text x="4" y="{y + bar_height * 0.7:.0f}">{html.escape(label)}</text>')
+        total = sum(parts.values()) or 1.0
+        x = float(margin_l)
+        for c in cats:
+            v = parts.get(c, 0.0)
+            if v <= 0:
+                continue
+            w = plot_w * v / total
+            tip = html.escape(f"{c}: {v:g} ({100 * v / total:.1f}%)")
+            body.append(
+                f'<rect x="{x:.2f}" y="{y}" width="{w:.2f}" '
+                f'height="{bar_height}" fill="{colors[c]}" stroke="#333" '
+                f'stroke-width="0.3"><title>{tip}</title></rect>'
+            )
+            x += w
+    # legend
+    ly = margin_t + len(rows) * (bar_height + 6) + 12
+    lx = margin_l
+    for c in cats:
+        body.append(
+            f'<rect x="{lx}" y="{ly - 9}" width="10" height="10" '
+            f'fill="{colors[c]}"/>'
+        )
+        body.append(f'<text x="{lx + 14}" y="{ly}">{html.escape(c)}</text>')
+        lx += 14 + 8 * len(c) + 18
+    doc = _document(body, width, height)
+    if path:
+        with open(path, "w") as fh:
+            fh.write(doc)
+    return doc
+
+
+def step_curves_svg(
+    series: list[tuple[str, list[tuple[float, float]]]],
+    hlines: tuple[tuple[str, Optional[float]], ...] = (),
+    path: Optional[str] = None,
+    width: int = 960,
+    height: int = 320,
+    title: str = "",
+    x_max: Optional[float] = None,
+) -> str:
+    """Step-function curves (sample-and-hold): one polyline per series.
+
+    ``series`` is ``[(label, [(x, y), ...]), ...]`` with samples in x
+    order; each value holds until the next sample.  ``hlines`` draws
+    dashed horizontal rules (e.g. a capacity line)."""
+    margin_l, margin_t, margin_b = 64, 24, 28
+    plot_w = width - margin_l - 12
+    plot_h = height - margin_t - margin_b
+    xs = [x for _l, pts in series for x, _y in pts]
+    right = x_max if x_max is not None else (max(xs, default=1.0) or 1.0)
+    top = max(
+        [v for _l, v in hlines if v]
+        + [y for _l, pts in series for _x, y in pts]
+    ) or 1
+    body: list[str] = []
+    if title:
+        body.append(f'<text x="{margin_l}" y="14">{html.escape(title)}</text>')
+
+    def xy(x: float, y: float) -> str:
+        px = margin_l + plot_w * min(x / right, 1.0)
+        py = margin_t + plot_h * (1 - y / top)
+        return f"{px:.1f},{py:.1f}"
+
+    for i, (label, pts) in enumerate(series):
+        color = _PALETTE[i % len(_PALETTE)]
+        if pts:
+            poly = []
+            prev_y = pts[0][1]
+            poly.append(xy(pts[0][0], prev_y))
+            for x, y in pts[1:]:
+                poly.append(xy(x, prev_y))
+                poly.append(xy(x, y))
+                prev_y = y
+            poly.append(xy(right, prev_y))
+            body.append(
+                f'<polyline points="{" ".join(poly)}" fill="none" '
+                f'stroke="{color}" stroke-width="1.4"/>'
+            )
+        body.append(
+            f'<text x="{margin_l + 6 + 48 * i}" y="{height - 8}" '
+            f'fill="{color}">{html.escape(label)}</text>'
+        )
+    for label, value in hlines:
+        if value:
+            y = margin_t + plot_h * (1 - value / top)
+            body.append(
+                f'<line x1="{margin_l}" y1="{y:.1f}" '
+                f'x2="{margin_l + plot_w}" y2="{y:.1f}" stroke="#e15759" '
+                'stroke-dasharray="4 3"/>'
+            )
+            body.append(
+                f'<text x="4" y="{y + 4:.1f}" fill="#e15759">{html.escape(label)}</text>'
+            )
     doc = _document(body, width, height)
     if path:
         with open(path, "w") as fh:

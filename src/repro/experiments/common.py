@@ -46,7 +46,13 @@ INF = float("inf")
 
 @dataclass
 class CellMetrics:
-    """One (configuration, capacity) measurement."""
+    """One (configuration, capacity) measurement.
+
+    The telemetry fields (``map_overhead_frac``, ``max_hwm``,
+    ``max_suspq``) are ``None`` unless the cell was measured with
+    ``collect_metrics=True``; non-executable cells get ``inf`` like the
+    timing fields.
+    """
 
     executable: bool
     pt: float = INF
@@ -55,6 +61,9 @@ class CellMetrics:
     capacity: int = 0
     min_mem: int = 0
     tot: int = 0
+    map_overhead_frac: Optional[float] = None
+    max_hwm: Optional[float] = None
+    max_suspq: Optional[float] = None
 
     @property
     def pt_increase_pct(self) -> float:
@@ -173,13 +182,19 @@ class ExperimentContext:
         fraction: float,
         reference: str = "self",
         merge_capacity: bool = False,
+        collect_metrics: bool = False,
     ) -> CellMetrics:
         """Measure one table cell.
 
         ``reference`` selects the TOT base for the capacity: ``"self"``
         (the schedule's own TOT, Tables 2/3) or ``"rcp"`` (the RCP
         schedule's TOT, Tables 4-7).  With ``merge_capacity=True`` the
-        heuristic receives the capacity (DTS slice merging).
+        heuristic receives the capacity (DTS slice merging).  With
+        ``collect_metrics=True`` the simulation runs instrumented
+        (:mod:`repro.obs`) and the telemetry fields of
+        :class:`CellMetrics` are populated; instrumented and plain
+        results are cached separately so mixing the two modes never
+        reuses the wrong run.
         """
         tot = (
             self.reference_tot(key, p)
@@ -192,16 +207,21 @@ class ExperimentContext:
         base = self.baseline_pt(key, p)
         if prof.min_mem > capacity:
             return CellMetrics(
-                executable=False, capacity=capacity, min_mem=prof.min_mem, tot=tot
+                executable=False, capacity=capacity, min_mem=prof.min_mem, tot=tot,
+                map_overhead_frac=INF if collect_metrics else None,
+                max_hwm=INF if collect_metrics else None,
+                max_suspq=INF if collect_metrics else None,
             )
-        sk = (key, p, heuristic, cap_arg, capacity)
+        sk = (key, p, heuristic, cap_arg, capacity, collect_metrics)
         if sk not in self._sims:
             self._sims[sk] = Simulator(
                 spec=self.spec,
                 capacity=capacity,
                 compiled=self.compiled(key, p, heuristic, cap_arg),
+                metrics=collect_metrics,
             ).run()
         res = self._sims[sk]
+        summary = res.metrics["summary"] if collect_metrics else None
         return CellMetrics(
             executable=True,
             pt=res.parallel_time,
@@ -210,6 +230,9 @@ class ExperimentContext:
             capacity=capacity,
             min_mem=prof.min_mem,
             tot=tot,
+            map_overhead_frac=summary["map_overhead_frac"] if summary else None,
+            max_hwm=float(summary["max_hwm"]) if summary else None,
+            max_suspq=float(summary["max_suspq"]) if summary else None,
         )
 
 

@@ -42,6 +42,15 @@ FIELDS = (
     "avg_maps",
 )
 
+#: Telemetry columns appended (in this order) when the sweep ran with
+#: ``metrics=True``.  They are omitted entirely otherwise, so a plain
+#: sweep's CSV is byte-identical to pre-telemetry output.
+METRIC_FIELDS = (
+    "map_overhead_frac",
+    "max_hwm",
+    "max_suspq",
+)
+
 
 @dataclass(frozen=True)
 class SweepRecord:
@@ -56,6 +65,10 @@ class SweepRecord:
     parallel_time: float
     pt_increase: float
     avg_maps: float
+    #: populated only by ``full_sweep(..., metrics=True)``
+    map_overhead_frac: Optional[float] = None
+    max_hwm: Optional[float] = None
+    max_suspq: Optional[float] = None
 
 
 def _run_group(
@@ -65,12 +78,15 @@ def _run_group(
     heuristics: Sequence[str],
     fractions: Sequence[float],
     reference: str,
+    metrics: bool = False,
 ) -> list[SweepRecord]:
     """All records of one (workload, procs) group, in grid order."""
     out: list[SweepRecord] = []
     for h in heuristics:
         for f in fractions:
-            cell = ctx.run_cell(key, p, h, f, reference=reference)
+            cell = ctx.run_cell(
+                key, p, h, f, reference=reference, collect_metrics=metrics
+            )
             out.append(
                 SweepRecord(
                     workload=key,
@@ -84,6 +100,9 @@ def _run_group(
                     parallel_time=cell.pt,
                     pt_increase=cell.pt_increase,
                     avg_maps=cell.avg_maps,
+                    map_overhead_frac=cell.map_overhead_frac,
+                    max_hwm=cell.max_hwm,
+                    max_suspq=cell.max_suspq,
                 )
             )
     return out
@@ -102,9 +121,11 @@ def _worker_init(spec, registered) -> None:
 
 
 def _worker_run_group(args) -> list[SweepRecord]:
-    key, p, heuristics, fractions, reference = args
+    key, p, heuristics, fractions, reference, metrics = args
     assert _WORKER_CTX is not None
-    return _run_group(_WORKER_CTX, key, p, heuristics, fractions, reference)
+    return _run_group(
+        _WORKER_CTX, key, p, heuristics, fractions, reference, metrics
+    )
 
 
 def full_sweep(
@@ -115,6 +136,7 @@ def full_sweep(
     fractions: Sequence[float] = (1.0, 0.75, 0.5, 0.4, 0.25),
     reference: str = "rcp",
     jobs: Optional[int] = 1,
+    metrics: bool = False,
 ) -> list[SweepRecord]:
     """Run the full grid; non-executable cells get ``inf`` metrics.
 
@@ -124,6 +146,12 @@ def full_sweep(
     :class:`~repro.experiments.common.ExperimentContext` from
     ``ctx.spec``, so custom problems registered on ``ctx`` must be
     picklable to sweep with ``jobs > 1``.
+
+    ``metrics=True`` runs every cell instrumented and fills the
+    telemetry fields of each record (``map_overhead_frac``, ``max_hwm``,
+    ``max_suspq``); the timing fields are unaffected because the
+    simulation is deterministic and instrumentation never changes event
+    order.
     """
     if not jobs or jobs < 0:
         jobs = os.cpu_count() or 1
@@ -131,10 +159,12 @@ def full_sweep(
     if jobs == 1 or len(groups) <= 1:
         out: list[SweepRecord] = []
         for key, p in groups:
-            out.extend(_run_group(ctx, key, p, heuristics, fractions, reference))
+            out.extend(
+                _run_group(ctx, key, p, heuristics, fractions, reference, metrics)
+            )
         return out
     tasks = [
-        (key, p, tuple(heuristics), tuple(fractions), reference)
+        (key, p, tuple(heuristics), tuple(fractions), reference, metrics)
         for key, p in groups
     ]
     with ProcessPoolExecutor(
@@ -147,15 +177,25 @@ def full_sweep(
 
 
 def to_csv(records: Iterable[SweepRecord], path: Optional[str] = None) -> str:
-    """Serialise sweep records as CSV; optionally write to ``path``."""
+    """Serialise sweep records as CSV; optionally write to ``path``.
+
+    The telemetry columns of :data:`METRIC_FIELDS` appear only when some
+    record carries them (i.e. the sweep ran with ``metrics=True``);
+    without them the output is byte-identical to a plain sweep's CSV.
+    """
+    records = list(records)
+    with_metrics = any(r.map_overhead_frac is not None for r in records)
+    fields = FIELDS + METRIC_FIELDS if with_metrics else FIELDS
     buf = io.StringIO()
-    writer = csv.DictWriter(buf, fieldnames=FIELDS)
+    writer = csv.DictWriter(buf, fieldnames=fields, extrasaction="ignore")
     writer.writeheader()
     for r in records:
         row = asdict(r)
         for k, v in row.items():
             if isinstance(v, float) and math.isinf(v):
                 row[k] = "inf"
+            elif v is None:
+                row[k] = ""
         writer.writerow(row)
     text = buf.getvalue()
     if path:
@@ -165,11 +205,16 @@ def to_csv(records: Iterable[SweepRecord], path: Optional[str] = None) -> str:
 
 
 def from_csv(text: str) -> list[SweepRecord]:
-    """Parse CSV produced by :func:`to_csv` (round-trip support)."""
+    """Parse CSV produced by :func:`to_csv` (round-trip support),
+    with or without the telemetry columns."""
     out: list[SweepRecord] = []
     for row in csv.DictReader(io.StringIO(text)):
         def f(x: str) -> float:
             return float("inf") if x == "inf" else float(x)
+
+        def opt(name: str) -> Optional[float]:
+            x = row.get(name)
+            return f(x) if x not in (None, "") else None
 
         out.append(
             SweepRecord(
@@ -184,6 +229,9 @@ def from_csv(text: str) -> list[SweepRecord]:
                 parallel_time=f(row["parallel_time"]),
                 pt_increase=f(row["pt_increase"]),
                 avg_maps=f(row["avg_maps"]),
+                map_overhead_frac=opt("map_overhead_frac"),
+                max_hwm=opt("max_hwm"),
+                max_suspq=opt("max_suspq"),
             )
         )
     return out

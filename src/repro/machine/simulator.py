@@ -60,6 +60,21 @@ All dynamic state of :meth:`Simulator.run` is local to the call: a
 ``Simulator`` (and the ``MapPlan``/``CompiledSchedule`` it holds) can be
 run repeatedly — even concurrently from several threads — and a failed
 run (:class:`~repro.errors.DeadlockError`, …) leaves no residue behind.
+
+Telemetry
+---------
+
+The run loop drives the :mod:`repro.obs` instrument layer with typed
+protocol events (state transitions, puts issued/suspended/drained,
+address-package traffic, MAP free/allocate decisions).  Instrumentation
+follows the null-object pattern and is gated by a single ``observing``
+boolean hoisted out of the loop: with ``trace=False``/``metrics=False``
+and no instrument attached, the per-event cost is one local-bool test
+and **no allocation** — the disabled engine speed is recorded by
+``benchmarks/bench_sweep_engine.py``.  ``metrics=True`` attaches the
+standard :class:`~repro.obs.instruments.MetricsSuite` and fills
+:attr:`SimResult.metrics` / :attr:`SimResult.telemetry`; ``trace=True``
+is now a :class:`~repro.obs.tracelog.TraceLog` instrument.
 """
 
 from __future__ import annotations
@@ -74,8 +89,23 @@ from ..core.maps import MapPlan, MapPoint, plan_maps
 from ..core.placement import validate_owner_compute
 from ..core.schedule import Schedule
 from ..errors import DataConsistencyError, DeadlockError, SimulationError
+from ..obs.instrument import Instrument, MultiInstrument
+from ..obs.instruments import MetricsSuite
+from ..obs.metrics import build_metrics
+from ..obs.tracelog import TraceEvent, TraceLog
 from .memory import ObjectAllocator
 from .spec import CRAY_T3D, MachineSpec
+
+__all__ = [
+    "CompiledSchedule",
+    "ProcessorStats",
+    "ProcState",
+    "SimResult",
+    "Simulator",
+    "TraceEvent",
+    "compile_schedule",
+    "simulate",
+]
 
 
 class ProcState(Enum):
@@ -120,16 +150,6 @@ class ProcessorStats:
         return max(self.finish_time - self.busy_time - self.overhead_time, 0.0)
 
 
-@dataclass(frozen=True)
-class TraceEvent:
-    """One event of an execution trace (``trace=True``)."""
-
-    time: float
-    proc: int
-    kind: str  # start | done | map | send | suspend | data | addr | end
-    detail: str
-
-
 @dataclass
 class SimResult:
     """Outcome of one simulated execution."""
@@ -141,17 +161,36 @@ class SimResult:
     memory_managed: bool
     plan: Optional[MapPlan] = None
     trace: Optional[list[TraceEvent]] = None
+    #: Versioned metrics document (``metrics=True``; see
+    #: :func:`repro.obs.metrics.build_metrics`).
+    metrics: Optional[dict] = None
+    #: The :class:`~repro.obs.instruments.MetricsSuite` that observed the
+    #: run (``metrics=True``); feeds the Chrome-trace / HTML exporters.
+    telemetry: Optional[MetricsSuite] = None
+    #: ``heuristic:pP:Nt`` label of the executed schedule.
+    schedule_label: str = ""
 
-    def render_trace(self, limit: int = 200) -> str:
-        """Human-readable event log (requires ``trace=True``)."""
+    def render_trace(self, limit: Optional[int] = 200) -> str:
+        """Human-readable event log (requires ``trace=True``).
+
+        ``limit`` caps the number of events shown; ``limit=None`` means
+        *all* events.  The first line is a header identifying the run.
+        """
         if self.trace is None:
             return "(tracing was not enabled)"
+        shown = self.trace if limit is None else self.trace[:limit]
         lines = [
-            f"{e.time:12.6f}  P{e.proc}  {e.kind:<7} {e.detail}"
-            for e in self.trace[:limit]
+            f"# trace: schedule={self.schedule_label or '?'} "
+            f"procs={len(self.stats)} capacity={self.capacity} "
+            f"memory_managed={self.memory_managed} "
+            f"events={len(self.trace)}"
         ]
-        if len(self.trace) > limit:
-            lines.append(f"... ({len(self.trace) - limit} more events)")
+        lines += [
+            f"{e.time:12.6f}  P{e.proc}  {e.kind:<7} {e.detail}"
+            for e in shown
+        ]
+        if len(self.trace) > len(shown):
+            lines.append(f"... ({len(self.trace) - len(shown)} more events)")
         return "\n".join(lines)
 
     @property
@@ -411,13 +450,22 @@ class Simulator:
         preknown_addresses: bool = False,
         trace: bool = False,
         compiled: Optional[CompiledSchedule] = None,
+        metrics: bool = False,
+        instrument: Optional[Instrument] = None,
     ):
         """See class docstring; ``preknown_addresses=True`` models a
         steady-state iteration of an iterative application (RAPID's
         target workloads, Figure 1: "execute tasks iteratively"): the
         volatile addresses notified during the first iteration remain
         valid, so MAPs still pay their allocate/free costs but no
-        address packages travel and no send ever suspends."""
+        address packages travel and no send ever suspends.
+
+        ``metrics=True`` attaches a fresh
+        :class:`~repro.obs.instruments.MetricsSuite` per run and fills
+        ``SimResult.metrics``/``SimResult.telemetry``; ``instrument``
+        attaches a custom :class:`~repro.obs.instrument.Instrument`
+        (reused across runs — its ``on_run_begin`` must reset state).
+        Both compose with ``trace=True``."""
         if compiled is None:
             if schedule is None:
                 raise SimulationError("Simulator needs a schedule or a compiled schedule")
@@ -432,6 +480,12 @@ class Simulator:
         self.memory_managed = memory_managed
         self.preknown_addresses = preknown_addresses
         self.trace_enabled = trace
+        self.metrics_enabled = metrics
+        self.instrument = instrument
+        self.schedule_label = (
+            f"{self.schedule.meta.get('heuristic', '?')}"
+            f":p{self.p}:{self.g.num_tasks}t"
+        )
         self.profile = compiled.profile
         if capacity is None:
             capacity = (
@@ -483,6 +537,31 @@ class Simulator:
             heapq.heappush(events, (t, seq, kind, payload))
             seq += 1
 
+        # --- telemetry (run-local; null-object instruments) -----------
+        suite: Optional[MetricsSuite] = None
+        tlog: Optional[TraceLog] = None
+        insts: list[Instrument] = []
+        if self.metrics_enabled:
+            suite = MetricsSuite()
+            insts.append(suite)
+        if self.trace_enabled:
+            tlog = TraceLog()
+            insts.append(tlog)
+        if self.instrument is not None and self.instrument.enabled:
+            insts.append(self.instrument)
+        obs: Optional[Instrument] = None
+        if len(insts) == 1:
+            obs = insts[0]
+        elif insts:
+            obs = MultiInstrument(insts)
+        #: Single gate hoisted out of the hot loop: when no instrument is
+        #: attached, each call site costs one local-bool test — no event
+        #: objects, no detail strings, no allocation (see the
+        #: instrumentation section of ``bench_sweep_engine.py``).
+        observing = obs is not None
+        if observing:
+            obs.on_run_begin(0.0, nprocs, self.capacity, self.memory_managed)
+
         state = [REC] * nprocs
         idx = [0] * nprocs
         avail = [0.0] * nprocs  # earliest time of the next local action
@@ -493,11 +572,16 @@ class Simulator:
         for q in range(nprocs):
             if cs.perm_bytes[q]:
                 alloc[q].alloc("<permanent>", cs.perm_bytes[q])
+                if observing:
+                    obs.on_alloc(0.0, q, "<permanent>", cs.perm_bytes[q],
+                                 alloc[q].used)
         if not self.memory_managed:
             # Baseline: all volatile space allocated up-front.
             for q in range(nprocs):
                 for m in self.profile.procs[q].span:
                     alloc[q].alloc(m, obj_size[m])
+                    if observing:
+                        obs.on_alloc(0.0, q, m, obj_size[m], alloc[q].used)
 
         #: received volatile contents: per processor, object -> versions.
         received_data: list[dict[str, set[str]]] = [dict() for _ in range(nprocs)]
@@ -530,19 +614,15 @@ class Simulator:
         finished_procs = 0
         last_task_finish = 0.0
 
-        trace_log: Optional[list[TraceEvent]] = [] if self.trace_enabled else None
-        #: Guard every tr() call site so detail strings are only built
-        #: when tracing is on (f-string assembly is hot-loop work).
-        tracing = trace_log is not None
-
-        def tr(t: float, q: int, kind: str, detail: str) -> None:
-            trace_log.append(TraceEvent(t, q, kind, detail))
-
         # --- helpers ---------------------------------------------------
-        def charge(q: int, t: float, cost: float) -> float:
-            avail[q] = max(avail[q], t) + cost
+        def charge(q: int, t: float, cost: float, kind: str) -> float:
+            start = max(avail[q], t)
+            end = start + cost
+            avail[q] = end
             stats[q].overhead_time += cost
-            return avail[q]
+            if observing:
+                obs.on_overhead(start, end, q, kind)
+            return end
 
         nic_free = [0.0] * nprocs  # injection-link availability (optional)
 
@@ -552,16 +632,16 @@ class Simulator:
                     f"P{q} sending {m!r} version {current_version[m]!r} for an "
                     f"edge requiring version {unit!r}"
                 )
-            t2 = charge(q, t, spec.send_overhead)
+            t2 = charge(q, t, spec.send_overhead, "send")
             stats[q].data_msgs_sent += 1
-            if tracing:
-                tr(t2, q, "send", f"{m}@{unit} -> P{dest} ({nbytes} B)")
             if spec.nic_serialize:
                 start = max(nic_free[q], t2)
                 nic_free[q] = start + nbytes * spec.byte_time
                 arrive = start + spec.message_time(nbytes)
             else:
                 arrive = t2 + spec.message_time(nbytes)
+            if observing:
+                obs.on_put(t2, arrive, q, dest, m, unit, nbytes)
             post(arrive, _DATA_ARRIVE, (dest, m, unit, q))
 
         def ra(q: int, t: float) -> None:
@@ -572,18 +652,25 @@ class Simulator:
                     for m in objs:
                         addr_known[q].add((m, src))
                     stats[q].packages_read += 1
-                    charge(q, t, spec.ra_cost)
+                    charge(q, t, spec.ra_cost, "ra")
+                    if observing:
+                        obs.on_package_read(max(avail[q], t), q, src, len(objs))
                     # Consuming frees the sender's slot after one latency.
                     post(max(avail[q], t) + spec.put_latency, _SLOT_FREE, (src, q))
                 inbox[q].clear()
             if suspended[q]:
                 still: list[tuple[str, str, int, int]] = []
-                for m, unit, dest, nbytes in suspended[q]:
-                    if (m, dest) in addr_known[q]:
-                        dispatch_data(q, m, unit, dest, nbytes, max(avail[q], t))
+                ready: list[tuple[str, str, int, int]] = []
+                for item in suspended[q]:
+                    if (item[0], item[2]) in addr_known[q]:
+                        ready.append(item)
                     else:
-                        still.append((m, unit, dest, nbytes))
+                        still.append(item)
                 suspended[q] = still
+                for m, unit, dest, nbytes in ready:
+                    dispatch_data(q, m, unit, dest, nbytes, max(avail[q], t))
+                    if observing:
+                        obs.on_put_drain(max(avail[q], t), q, dest, m, len(still))
 
         def try_send_packages(q: int, t: float) -> bool:
             """Send pending address packages; True when none remain."""
@@ -591,35 +678,41 @@ class Simulator:
             for dst, objs in pending_pkgs[q]:
                 if slot_busy[q][dst]:
                     still.append((dst, objs))
+                    if observing:
+                        obs.on_package_block(max(avail[q], t), q, dst, len(objs))
                     continue
                 slot_busy[q][dst] = True
                 cost = spec.package_overhead + len(objs) * spec.address_cost
-                t2 = charge(q, t, cost)
+                t2 = charge(q, t, cost, "package")
                 stats[q].packages_sent += 1
+                if observing:
+                    obs.on_package_send(t2, q, dst, len(objs))
                 post(t2 + spec.put_latency, _ADDR_ARRIVE, (dst, q, list(objs)))
             pending_pkgs[q] = still
             return not still
 
         def do_map(q: int, mp: MapPoint, t: float) -> None:
             stats[q].num_maps += 1
-            if tracing:
-                tr(
-                    max(avail[q], t), q, "map",
-                    f"@pos{mp.position} free={mp.frees} alloc={mp.allocs}",
-                )
+            if observing:
+                obs.on_map(max(avail[q], t), q, mp.position, mp.frees, mp.allocs)
             cost = (
                 spec.map_overhead
                 + len(mp.frees) * spec.free_cost
                 + len(mp.allocs) * spec.alloc_cost
             )
-            charge(q, t, cost)
+            charge(q, t, cost, "map")
+            t_map = avail[q]  # memory ops take effect at MAP completion
             for m in mp.frees:
                 alloc[q].free(m)
                 # The content dies with the space; later arrivals of the
                 # same object would be protocol violations.
                 received_data[q].pop(m, None)
+                if observing:
+                    obs.on_free(t_map, q, m, obj_size[m], alloc[q].used)
             for m in mp.allocs:
                 alloc[q].alloc(m, obj_size[m])
+                if observing:
+                    obs.on_alloc(t_map, q, m, obj_size[m], alloc[q].used)
             stats[q].peak_memory = max(stats[q].peak_memory, alloc[q].peak)
             if not self.preknown_addresses:
                 pending_pkgs[q].extend(
@@ -639,18 +732,22 @@ class Simulator:
                 if map_pending[q]:
                     if not try_send_packages(q, max(avail[q], t)):
                         state[q] = MAP
+                        if observing:
+                            obs.on_state(max(avail[q], t), q, "MAP")
                         return
                     map_pending[q] = False
                 if idx[q] >= len(order):
                     if suspended[q] or pending_pkgs[q]:
                         state[q] = END
+                        if observing:
+                            obs.on_state(max(avail[q], t), q, "END")
                         return
                     if state[q] is not DONE:
                         state[q] = DONE
                         stats[q].finish_time = max(avail[q], t)
                         finished_procs += 1
-                        if tracing:
-                            tr(stats[q].finish_time, q, "end", "all tasks drained")
+                        if observing:
+                            obs.on_proc_end(stats[q].finish_time, q)
                     return
                 mp = map_at.get(idx[q])
                 if mp is not None and map_done[q] < idx[q]:
@@ -660,6 +757,8 @@ class Simulator:
                 task = order[idx[q]]
                 if pending_inputs.get(task, 0):
                     state[q] = REC
+                    if observing:
+                        obs.on_state(max(avail[q], t), q, "REC")
                     return
                 # EXE
                 state[q] = EXE
@@ -667,8 +766,8 @@ class Simulator:
                 start = max(avail[q], t)
                 stats[q].busy_time += w
                 avail[q] = start + w
-                if tracing:
-                    tr(start, q, "start", task)
+                if observing:
+                    obs.on_exe(start, start + w, q, task)
                 post(start + w, _TASK_DONE, (q, task))
                 return
 
@@ -687,17 +786,21 @@ class Simulator:
                 nc[key] -= 1
             # SND: issue messages triggered by this task.
             state[q] = SND
+            if observing:
+                obs.on_state(t, q, "SND")
             for m, unit, dest, nbytes in out_data.get(task, ()):
                 if (m, dest) in addr_known[q]:
                     dispatch_data(q, m, unit, dest, nbytes, t)
                 else:
                     suspended[q].append((m, unit, dest, nbytes))
                     stats[q].suspended_sends += 1
-                    if tracing:
-                        tr(t, q, "suspend", f"{m}@{unit} -> P{dest} (no address)")
+                    if observing:
+                        obs.on_put_suspend(t, q, dest, m, unit, len(suspended[q]))
             for unit, dest in out_sync.get(task, ()):
-                t2 = charge(q, t, spec.send_overhead)
+                t2 = charge(q, t, spec.send_overhead, "send")
                 stats[q].sync_msgs_sent += 1
+                if observing:
+                    obs.on_sync(t2, t2 + spec.put_latency, q, dest, unit)
                 post(t2 + spec.put_latency, _DATA_ARRIVE, (dest, None, unit, q))
             state[q] = REC
             advance(q, max(avail[q], t))
@@ -747,6 +850,8 @@ class Simulator:
                         versions.add(unit)
                         for w_task in data_waiters[dest].get((m, unit), ()):
                             pending_inputs[w_task] -= 1
+                    if observing:
+                        obs.on_data_arrive(t, dest, m, unit, _src)
                 if state[dest] in wake_states:
                     advance(dest, t)
             elif kind == _ADDR_ARRIVE:
@@ -804,17 +909,22 @@ class Simulator:
                     f"capacity {self.capacity}"
                 )
         pt = max((s.finish_time for s in stats), default=0.0)
-        if trace_log is not None:
-            trace_log.sort(key=lambda e: (e.time, e.proc))
-        return SimResult(
+        if observing:
+            obs.on_run_end(pt)
+        result = SimResult(
             parallel_time=pt,
             task_finish_time=last_task_finish,
             stats=stats,
             capacity=self.capacity,
             memory_managed=self.memory_managed,
             plan=self.plan,
-            trace=trace_log,
+            trace=tlog.events if tlog is not None else None,
+            telemetry=suite,
+            schedule_label=self.schedule_label,
         )
+        if suite is not None:
+            result.metrics = build_metrics(result, suite)
+        return result
 
 
 def simulate(

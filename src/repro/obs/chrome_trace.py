@@ -1,0 +1,162 @@
+"""Chrome ``trace_event`` export (Perfetto / ``chrome://tracing``).
+
+Turns the :class:`~repro.obs.instruments.Timeline` and
+:class:`~repro.obs.instruments.MemoryTimeline` of an instrumented run
+into the JSON object format of the Trace Event specification:
+
+* one **track** (``tid``) per simulated processor under a single
+  process (``pid`` 0), named via ``M``-phase metadata events;
+* protocol activity as **complete** (``ph: "X"``) duration events —
+  task execution (category ``exe``), MAP work, package assembly, RA
+  reads, send overheads — plus the derived blocked-state intervals
+  (REC / MAP-blocked / END-drain, category ``state``);
+* every data put as a **flow** (``ph: "s"`` → ``ph: "f"``) from the
+  sender's track at issue time to the receiver's track at arrival;
+* per-processor allocated-bytes **counter** (``ph: "C"``) series.
+
+Timestamps are microseconds (the unit the viewers expect); events are
+sorted by ``ts`` so each track is monotonic.  Load the file with
+https://ui.perfetto.dev or ``chrome://tracing``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+#: Simulator seconds -> trace microseconds.
+_US = 1e6
+
+
+def chrome_trace(result) -> dict:
+    """Build the trace document for an instrumented :class:`SimResult`.
+
+    Requires the result of a ``Simulator(..., metrics=True)`` run
+    (``result.telemetry`` holds the suite); raises ``ValueError``
+    otherwise.
+    """
+    suite = getattr(result, "telemetry", None)
+    if suite is None:
+        raise ValueError(
+            "chrome_trace needs an instrumented run: Simulator(..., metrics=True)"
+        )
+    tl = suite.timeline
+    events: list[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": 0,
+            "args": {"name": f"repro simulator ({result.schedule_label})"},
+        }
+    ]
+    for q in range(tl.nprocs):
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": q,
+                "args": {"name": f"P{q}"},
+            }
+        )
+
+    body: list[dict] = []
+    for q in range(tl.nprocs):
+        for t0, t1, name, cat in tl.activity[q]:
+            body.append(
+                {
+                    "name": name,
+                    "cat": cat,
+                    "ph": "X",
+                    "pid": 0,
+                    "tid": q,
+                    "ts": t0 * _US,
+                    "dur": (t1 - t0) * _US,
+                }
+            )
+        for t0, t1, state in tl.blocked_intervals(q):
+            label = {"REC": "REC(wait)", "MAP": "MAP(blocked)", "END": "END(drain)"}
+            body.append(
+                {
+                    "name": label.get(state, state),
+                    "cat": "state",
+                    "ph": "X",
+                    "pid": 0,
+                    "tid": q,
+                    "ts": t0 * _US,
+                    "dur": (t1 - t0) * _US,
+                }
+            )
+    for t, proc, position, nfrees, nallocs in tl.map_points:
+        body.append(
+            {
+                "name": f"MAP@{position}",
+                "cat": "map",
+                "ph": "i",
+                "s": "t",
+                "pid": 0,
+                "tid": proc,
+                "ts": t * _US,
+                "args": {"frees": nfrees, "allocs": nallocs},
+            }
+        )
+    for i, (t_send, t_arrive, src, dest, obj) in enumerate(tl.puts):
+        body.append(
+            {
+                "name": f"put {obj}",
+                "cat": "put",
+                "ph": "s",
+                "id": i,
+                "pid": 0,
+                "tid": src,
+                "ts": t_send * _US,
+            }
+        )
+        body.append(
+            {
+                "name": f"put {obj}",
+                "cat": "put",
+                "ph": "f",
+                "bp": "e",
+                "id": i,
+                "pid": 0,
+                "tid": dest,
+                "ts": t_arrive * _US,
+            }
+        )
+    for q, samples in enumerate(suite.memory.samples):
+        for t, used in samples:
+            body.append(
+                {
+                    "name": f"allocated P{q}",
+                    "cat": "memory",
+                    "ph": "C",
+                    "pid": 0,
+                    "tid": q,
+                    "ts": t * _US,
+                    "args": {"bytes": used},
+                }
+            )
+    body.sort(key=lambda e: e["ts"])
+    events.extend(body)
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "schema": "repro-chrome-trace/1",
+            "schedule": result.schedule_label,
+            "capacity": result.capacity,
+            "memory_managed": result.memory_managed,
+            "parallel_time": result.parallel_time,
+        },
+    }
+
+
+def write_chrome_trace(result, path: Optional[str] = None) -> str:
+    """Serialise :func:`chrome_trace`; optionally write to ``path``."""
+    text = json.dumps(chrome_trace(result)) + "\n"
+    if path:
+        with open(path, "w") as fh:
+            fh.write(text)
+    return text

@@ -1,0 +1,311 @@
+"""Built-in instruments: residency, memory, queues, counters, timeline.
+
+Each class observes one axis of the execution:
+
+* :class:`StateResidency` — where each processor's wall-clock goes:
+  compute, the MAP-protocol overhead buckets (``map``/``package``/
+  ``ra``), send overheads, blocked/idle time and post-termination slack.
+  Per processor the categories sum *exactly* to the run's parallel time
+  (floating-point summation error only) — the accounting identity the
+  tests assert to 1e-9.
+* :class:`MemoryTimeline` — the allocated-bytes step curve of every
+  processor with its high-water mark; for memory-managed runs the mark
+  must equal the static prediction
+  (:meth:`repro.core.maps.MapPlan.predicted_peaks`).
+* :class:`QueueDepth` — suspended-sending-queue depth and address-slot
+  blocking histograms (the ``O(e)`` worst case of section 3.3).
+* :class:`Counters` — monotonic event counts.
+* :class:`Timeline` — per-processor activity slices, blocked-state
+  intervals and put flows: the raw material of the Chrome-trace and
+  HTML exporters.
+
+:class:`MetricsSuite` bundles all five behind one instrument — it is
+what ``Simulator(metrics=True)`` attaches.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .instrument import Instrument, MultiInstrument, OVERHEAD_KINDS
+
+#: Residency categories, in reporting order.  ``idle`` is blocked time
+#: (REC/MAP/END waits); ``done`` is slack between a processor's own
+#: finish and the run's parallel time.
+RESIDENCY_KEYS = ("exe",) + OVERHEAD_KINDS + ("idle", "done")
+
+#: The overhead buckets charged to the memory-management scheme itself
+#: (MAP actions + package assembly + RA reads; sends happen in the
+#: baseline too).
+MAP_OVERHEAD_KINDS = ("map", "package", "ra")
+
+
+class StateResidency(Instrument):
+    """Per-processor time-in-state breakdown."""
+
+    def __init__(self) -> None:
+        self.on_run_begin(0.0, 0, 0, True)
+
+    def on_run_begin(self, t, nprocs, capacity, memory_managed) -> None:
+        self.nprocs = nprocs
+        self.exe = [0.0] * nprocs
+        self.overhead = {k: [0.0] * nprocs for k in OVERHEAD_KINDS}
+        self.finish = [0.0] * nprocs
+        self.parallel_time = 0.0
+
+    def on_exe(self, t0, t1, proc, task) -> None:
+        self.exe[proc] += t1 - t0
+
+    def on_overhead(self, t0, t1, proc, kind) -> None:
+        self.overhead[kind][proc] += t1 - t0
+
+    def on_proc_end(self, t, proc) -> None:
+        self.finish[proc] = t
+
+    def on_run_end(self, parallel_time) -> None:
+        self.parallel_time = parallel_time
+
+    def residency(self, proc: int) -> dict[str, float]:
+        """Seconds per category; values sum to ``parallel_time``."""
+        out = {"exe": self.exe[proc]}
+        for k in OVERHEAD_KINDS:
+            out[k] = self.overhead[k][proc]
+        busy = out["exe"] + sum(out[k] for k in OVERHEAD_KINDS)
+        out["idle"] = self.finish[proc] - busy
+        out["done"] = self.parallel_time - self.finish[proc]
+        return out
+
+    def fractions(self, proc: int) -> dict[str, float]:
+        pt = self.parallel_time
+        res = self.residency(proc)
+        if pt <= 0.0:
+            return dict.fromkeys(res, 0.0)
+        return {k: v / pt for k, v in res.items()}
+
+    def map_overhead(self, proc: int) -> float:
+        """Seconds of memory-management overhead (MAP + package + RA)."""
+        return sum(self.overhead[k][proc] for k in MAP_OVERHEAD_KINDS)
+
+    def map_overhead_frac(self, proc: Optional[int] = None) -> float:
+        """MAP-protocol overhead as a fraction of parallel time; with
+        ``proc=None``, the machine-wide fraction (total overhead over
+        ``nprocs * parallel_time``)."""
+        pt = self.parallel_time
+        if pt <= 0.0 or self.nprocs == 0:
+            return 0.0
+        if proc is not None:
+            return self.map_overhead(proc) / pt
+        total = sum(self.map_overhead(q) for q in range(self.nprocs))
+        return total / (self.nprocs * pt)
+
+
+class MemoryTimeline(Instrument):
+    """Allocated-bytes step curve per processor, from alloc/free events."""
+
+    def __init__(self) -> None:
+        self.on_run_begin(0.0, 0, 0, True)
+
+    def on_run_begin(self, t, nprocs, capacity, memory_managed) -> None:
+        self.capacity = capacity
+        #: per processor: [(time, used-after-op), ...] in event order.
+        self.samples: list[list[tuple[float, int]]] = [[] for _ in range(nprocs)]
+
+    def on_alloc(self, t, proc, obj, size, used) -> None:
+        self.samples[proc].append((t, used))
+
+    def on_free(self, t, proc, obj, size, used) -> None:
+        self.samples[proc].append((t, used))
+
+    def high_water(self, proc: int) -> int:
+        """Peak allocated bytes observed on ``proc`` (0 if untouched)."""
+        return max((used for _t, used in self.samples[proc]), default=0)
+
+    def high_waters(self) -> list[int]:
+        return [self.high_water(q) for q in range(len(self.samples))]
+
+
+class QueueDepth(Instrument):
+    """Suspended-send queue depth and address-slot blocking histograms."""
+
+    def __init__(self) -> None:
+        self.on_run_begin(0.0, 0, 0, True)
+
+    def on_run_begin(self, t, nprocs, capacity, memory_managed) -> None:
+        self.max_suspq = [0] * nprocs
+        #: histogram: queue depth after an enqueue -> occurrences.
+        self.suspq_hist: dict[int, int] = {}
+        self.package_blocks = [0] * nprocs
+        #: histogram: pending-package count at a blocked MAP -> occurrences.
+        self.block_hist: dict[int, int] = {}
+
+    def on_put_suspend(self, t, proc, dest, obj, unit, qlen) -> None:
+        if qlen > self.max_suspq[proc]:
+            self.max_suspq[proc] = qlen
+        self.suspq_hist[qlen] = self.suspq_hist.get(qlen, 0) + 1
+
+    def on_package_block(self, t, proc, dest, naddrs) -> None:
+        self.package_blocks[proc] += 1
+        self.block_hist[naddrs] = self.block_hist.get(naddrs, 0) + 1
+
+    @property
+    def max_suspended(self) -> int:
+        """Deepest suspended queue seen on any processor."""
+        return max(self.max_suspq, default=0)
+
+
+class Counters(Instrument):
+    """Monotonic event counts for the whole run."""
+
+    FIELDS = (
+        "tasks", "maps", "allocs", "frees", "puts", "puts_suspended",
+        "puts_drained", "syncs", "data_arrivals", "packages_sent",
+        "packages_read", "package_blocks",
+    )
+
+    def __init__(self) -> None:
+        self.on_run_begin(0.0, 0, 0, True)
+
+    def on_run_begin(self, t, nprocs, capacity, memory_managed) -> None:
+        self.counts = dict.fromkeys(self.FIELDS, 0)
+
+    def on_exe(self, t0, t1, proc, task) -> None:
+        self.counts["tasks"] += 1
+
+    def on_map(self, t, proc, position, frees, allocs) -> None:
+        self.counts["maps"] += 1
+
+    def on_alloc(self, t, proc, obj, size, used) -> None:
+        self.counts["allocs"] += 1
+
+    def on_free(self, t, proc, obj, size, used) -> None:
+        self.counts["frees"] += 1
+
+    def on_put(self, t_send, t_arrive, proc, dest, obj, unit, nbytes) -> None:
+        self.counts["puts"] += 1
+
+    def on_put_suspend(self, t, proc, dest, obj, unit, qlen) -> None:
+        self.counts["puts_suspended"] += 1
+
+    def on_put_drain(self, t, proc, dest, obj, qlen) -> None:
+        self.counts["puts_drained"] += 1
+
+    def on_sync(self, t_send, t_arrive, proc, dest, unit) -> None:
+        self.counts["syncs"] += 1
+
+    def on_data_arrive(self, t, proc, obj, unit, src) -> None:
+        self.counts["data_arrivals"] += 1
+
+    def on_package_send(self, t, proc, dest, naddrs) -> None:
+        self.counts["packages_sent"] += 1
+
+    def on_package_block(self, t, proc, dest, naddrs) -> None:
+        self.counts["package_blocks"] += 1
+
+    def on_package_read(self, t, proc, src, naddrs) -> None:
+        self.counts["packages_read"] += 1
+
+
+class Timeline(Instrument):
+    """Per-processor activity slices, blocked intervals and put flows.
+
+    This is the exporter feed: activity slices are ``(t0, t1, name,
+    cat)`` with ``cat`` one of ``exe``/``map``/``package``/``ra``/
+    ``send``; blocked-state intervals are derived from the REC/MAP/END
+    transition marks; puts keep both endpoints so the Chrome exporter
+    can draw flow arrows between tracks.
+    """
+
+    #: Blocked protocol states rendered as intervals.
+    BLOCKED = ("REC", "MAP", "END")
+
+    def __init__(self) -> None:
+        self.on_run_begin(0.0, 0, 0, True)
+
+    def on_run_begin(self, t, nprocs, capacity, memory_managed) -> None:
+        self.nprocs = nprocs
+        self.activity: list[list[tuple[float, float, str, str]]] = [
+            [] for _ in range(nprocs)
+        ]
+        self.marks: list[list[tuple[float, str]]] = [[] for _ in range(nprocs)]
+        #: (t_send, t_arrive, src, dest, obj)
+        self.puts: list[tuple[float, float, int, int, str]] = []
+        #: (t, proc, position, nfrees, nallocs)
+        self.map_points: list[tuple[float, int, int, int, int]] = []
+        self.finish = [0.0] * nprocs
+        self.parallel_time = 0.0
+
+    def on_exe(self, t0, t1, proc, task) -> None:
+        self.activity[proc].append((t0, t1, task, "exe"))
+
+    def on_overhead(self, t0, t1, proc, kind) -> None:
+        self.activity[proc].append((t0, t1, kind.upper(), kind))
+
+    def on_state(self, t, proc, state) -> None:
+        if state in self.BLOCKED:
+            self.marks[proc].append((t, state))
+
+    def on_map(self, t, proc, position, frees, allocs) -> None:
+        self.map_points.append((t, proc, position, len(frees), len(allocs)))
+
+    def on_put(self, t_send, t_arrive, proc, dest, obj, unit, nbytes) -> None:
+        self.puts.append((t_send, t_arrive, proc, dest, obj))
+
+    def on_proc_end(self, t, proc) -> None:
+        self.finish[proc] = t
+
+    def on_run_end(self, parallel_time) -> None:
+        self.parallel_time = parallel_time
+
+    def blocked_intervals(self, proc: int) -> list[tuple[float, float, str]]:
+        """Blocked-state intervals ``(t0, t1, state)`` of ``proc``.
+
+        A mark opens an interval; it closes at the next activity slice,
+        the next *different* state mark, or the processor's finish time.
+        Repeated same-state marks with no activity in between (re-checks
+        of a still-blocked processor) extend the open interval.
+        """
+        acts = self.activity[proc]
+        marks = self.marks[proc]
+        out: list[tuple[float, float, str]] = []
+        ai = 0
+        open_t: Optional[float] = None
+        open_state: Optional[str] = None
+
+        def close(end: float) -> None:
+            nonlocal open_t, open_state
+            if open_t is not None and end > open_t:
+                out.append((open_t, end, open_state))
+            open_t = open_state = None
+
+        for t, state in marks:
+            # Activity that started since the mark closes the open interval.
+            while ai < len(acts) and acts[ai][0] <= t:
+                if open_t is not None and acts[ai][0] > open_t:
+                    close(acts[ai][0])
+                ai += 1
+            if open_t is not None:
+                if state == open_state:
+                    continue  # still blocked the same way
+                close(t)
+            open_t, open_state = t, state
+        if open_t is not None:
+            nxt = acts[ai][0] if ai < len(acts) else self.finish[proc]
+            close(max(nxt, open_t))
+        return out
+
+
+class MetricsSuite(MultiInstrument):
+    """The standard instrument bundle behind ``Simulator(metrics=True)``:
+    residency + memory + queues + counters + timeline, addressable by
+    name."""
+
+    def __init__(self) -> None:
+        self.residency = StateResidency()
+        self.memory = MemoryTimeline()
+        self.queues = QueueDepth()
+        self.counters = Counters()
+        self.timeline = Timeline()
+        super().__init__(
+            (self.residency, self.memory, self.queues, self.counters,
+             self.timeline)
+        )

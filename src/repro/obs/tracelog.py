@@ -1,0 +1,61 @@
+"""Human-readable execution traces as an instrument.
+
+:class:`TraceLog` is the instrument behind ``Simulator(trace=True)``:
+it turns the typed event stream into the flat
+:class:`TraceEvent` records of
+:meth:`~repro.machine.simulator.SimResult.render_trace`.  Because it is
+an ordinary :class:`~repro.obs.instrument.Instrument`, the detail
+strings (f-string assembly is hot-loop work) are only ever built when
+tracing is enabled — ``trace=False`` runs construct no
+:class:`TraceEvent` at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .instrument import Instrument
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One event of an execution trace (``trace=True``)."""
+
+    time: float
+    proc: int
+    kind: str  # start | done | map | send | suspend | data | addr | end
+    detail: str
+
+
+class TraceLog(Instrument):
+    """Record a flat, time-sorted event log of one run."""
+
+    def __init__(self) -> None:
+        self.events: list[TraceEvent] = []
+
+    def on_run_begin(self, t, nprocs, capacity, memory_managed) -> None:
+        self.events = []
+
+    def on_exe(self, t0, t1, proc, task) -> None:
+        self.events.append(TraceEvent(t0, proc, "start", task))
+
+    def on_map(self, t, proc, position, frees, allocs) -> None:
+        self.events.append(
+            TraceEvent(t, proc, "map", f"@pos{position} free={frees} alloc={allocs}")
+        )
+
+    def on_put(self, t_send, t_arrive, proc, dest, obj, unit, nbytes) -> None:
+        self.events.append(
+            TraceEvent(t_send, proc, "send", f"{obj}@{unit} -> P{dest} ({nbytes} B)")
+        )
+
+    def on_put_suspend(self, t, proc, dest, obj, unit, qlen) -> None:
+        self.events.append(
+            TraceEvent(t, proc, "suspend", f"{obj}@{unit} -> P{dest} (no address)")
+        )
+
+    def on_proc_end(self, t, proc) -> None:
+        self.events.append(TraceEvent(t, proc, "end", "all tasks drained"))
+
+    def on_run_end(self, parallel_time) -> None:
+        self.events.sort(key=lambda e: (e.time, e.proc))

@@ -42,3 +42,49 @@ def test_sweep_jobs_identical_output(tmp_path, capsys):
     assert main(["sweep", "--procs", "4", "--jobs", "2", "--out", str(parallel)]) == 0
     capsys.readouterr()
     assert serial.read_bytes() == parallel.read_bytes()
+
+
+def test_trace_paper_exports(tmp_path, capsys):
+    """`trace` on the paper example writes all three artifacts."""
+    m = tmp_path / "metrics.json"
+    t = tmp_path / "trace.json"
+    r = tmp_path / "report.html"
+    assert main([
+        "trace", "--metrics", str(m), "--trace-out", str(t),
+        "--report", str(r),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "map_overhead=" in out
+    import json
+
+    doc = json.loads(m.read_text())
+    assert doc["schema"] == "repro-metrics/1"
+    assert json.loads(t.read_text())["traceEvents"]
+    assert "<svg" in r.read_text()
+
+
+def test_trace_summary_only(capsys):
+    assert main(["trace"]) == 0
+    out = capsys.readouterr().out
+    assert "summary only" in out
+
+
+def test_trace_workload_not_executable(capsys):
+    assert main([
+        "trace", "--workload", "lu-goodwin", "--procs", "4",
+        "--fraction", "0.01",
+    ]) == 2
+    assert "not executable" in capsys.readouterr().err
+
+
+def test_sweep_metrics_columns(tmp_path, capsys):
+    """`sweep --metrics` adds telemetry columns; without it the CSV
+    stays in the legacy format."""
+    plain = tmp_path / "plain.csv"
+    inst = tmp_path / "metrics.csv"
+    assert main(["sweep", "--procs", "4", "--out", str(plain)]) == 0
+    assert main(["sweep", "--procs", "4", "--metrics", "--out", str(inst)]) == 0
+    capsys.readouterr()
+    assert "map_overhead_frac" not in plain.read_text()
+    header = inst.read_text().splitlines()[0]
+    assert header.endswith("map_overhead_frac,max_hwm,max_suspq")

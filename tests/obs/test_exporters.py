@@ -1,0 +1,182 @@
+"""Exporters: metrics JSON, Chrome trace_event JSON, HTML report,
+and the trace rendering of :class:`~repro.machine.simulator.SimResult`.
+"""
+
+import collections
+import json
+
+import pytest
+
+from repro.graph.paper_example import schedule_c
+from repro.machine import CRAY_T3D, UNIT_MACHINE, simulate
+from repro.obs import (
+    METRICS_SCHEMA,
+    build_metrics,
+    chrome_trace,
+    from_json,
+    html_report,
+    to_json,
+    write_chrome_trace,
+)
+
+
+@pytest.fixture(scope="module")
+def res():
+    return simulate(
+        schedule_c(), spec=CRAY_T3D, capacity=8, metrics=True, trace=True
+    )
+
+
+# -- metrics JSON -------------------------------------------------------
+
+
+def test_metrics_doc_schema_and_roundtrip(res):
+    m = res.metrics
+    assert m["schema"] == METRICS_SCHEMA
+    text = to_json(m)
+    assert from_json(text) == json.loads(text)
+    # every value is JSON-native: a dump/load round-trip is exact
+    assert json.loads(text) == m
+
+
+def test_metrics_rejects_wrong_schema(res):
+    bad = dict(res.metrics, schema="repro-metrics/999")
+    with pytest.raises(ValueError, match="schema"):
+        from_json(json.dumps(bad))
+    with pytest.raises(ValueError, match="schema"):
+        from_json("{}")
+
+
+def test_metrics_to_json_writes_file(res, tmp_path):
+    p = tmp_path / "metrics.json"
+    text = to_json(res.metrics, str(p))
+    assert p.read_text() == text
+    assert from_json(p.read_text())["parallel_time"] == res.parallel_time
+
+
+def test_build_metrics_matches_result_metrics(res):
+    rebuilt = build_metrics(res, res.telemetry)
+    assert rebuilt == res.metrics
+
+
+def test_per_proc_residency_fields(res):
+    for r in res.metrics["per_proc"]:
+        assert sum(r["residency"].values()) == pytest.approx(
+            res.parallel_time, abs=1e-9
+        )
+        assert sum(r["residency_frac"].values()) == pytest.approx(1.0, abs=1e-9)
+        assert 0.0 <= r["map_overhead_frac"] <= 1.0
+
+
+# -- Chrome trace -------------------------------------------------------
+
+
+def test_chrome_trace_required_fields(res):
+    doc = chrome_trace(res)
+    assert doc["otherData"]["schema"] == "repro-chrome-trace/1"
+    events = doc["traceEvents"]
+    assert events, "empty trace"
+    for e in events:
+        assert {"ph", "pid", "tid", "name"} <= set(e)
+        if e["ph"] != "M":
+            assert "ts" in e and e["ts"] >= 0
+        if e["ph"] == "X":
+            assert e["dur"] >= 0
+    phases = {e["ph"] for e in events}
+    assert {"M", "X"} <= phases  # metadata + duration slices always exist
+
+
+def test_chrome_trace_monotonic_per_track(res):
+    events = chrome_trace(res)["traceEvents"]
+    by_track = collections.defaultdict(list)
+    for e in events:
+        if e["ph"] == "M":
+            continue
+        by_track[(e["pid"], e["tid"])].append(e["ts"])
+    assert by_track
+    for ts in by_track.values():
+        assert ts == sorted(ts)
+
+
+def test_chrome_trace_tracks_cover_processors(res):
+    events = chrome_trace(res)["traceEvents"]
+    thread_names = {
+        e["tid"]: e["args"]["name"]
+        for e in events
+        if e["ph"] == "M" and e["name"] == "thread_name"
+    }
+    nprocs = len(res.stats)
+    assert set(thread_names) == set(range(nprocs))
+    assert thread_names[0] == "P0"
+
+
+def test_chrome_trace_flow_events_pair_up(res):
+    events = chrome_trace(res)["traceEvents"]
+    starts = [e for e in events if e["ph"] == "s"]
+    ends = [e for e in events if e["ph"] == "f"]
+    assert len(starts) == len(ends)
+    assert {e["id"] for e in starts} == {e["id"] for e in ends}
+    for e in ends:
+        assert e["bp"] == "e"
+    # a put flows from the sender's track to the receiver's
+    by_id = {e["id"]: e for e in starts}
+    for e in ends:
+        assert e["ts"] >= by_id[e["id"]]["ts"]
+
+
+def test_chrome_trace_requires_instrumented_run():
+    plain = simulate(schedule_c(), spec=UNIT_MACHINE, capacity=8)
+    with pytest.raises(ValueError, match="metrics=True"):
+        chrome_trace(plain)
+
+
+def test_write_chrome_trace_is_valid_json(res, tmp_path):
+    p = tmp_path / "trace.json"
+    write_chrome_trace(res, str(p))
+    doc = json.loads(p.read_text())
+    assert doc["traceEvents"]
+    assert doc["displayTimeUnit"] == "ms"
+
+
+# -- HTML report --------------------------------------------------------
+
+
+def test_html_report_contains_sections(res, tmp_path):
+    p = tmp_path / "report.html"
+    doc = html_report(res, str(p))
+    assert p.read_text() == doc
+    for needle in (
+        "<!DOCTYPE html>", "State residency", "Memory timeline",
+        "Per-processor metrics", "<svg", res.schedule_label,
+    ):
+        assert needle in doc
+
+
+def test_html_report_requires_instrumented_run():
+    plain = simulate(schedule_c(), spec=UNIT_MACHINE, capacity=8)
+    with pytest.raises(ValueError, match="metrics=True"):
+        html_report(plain)
+
+
+# -- SimResult.render_trace --------------------------------------------
+
+
+def test_render_trace_header_and_limit():
+    res = simulate(schedule_c(), spec=UNIT_MACHINE, capacity=8, trace=True)
+    full = res.render_trace(limit=None)
+    head = full.splitlines()[0]
+    assert head.startswith("# trace:")
+    assert "capacity=8" in head
+    assert "memory_managed=True" in head
+    assert f"events={len(res.trace)}" in head
+    assert "more events" not in full
+    assert len(full.splitlines()) == 1 + len(res.trace)
+
+    cut = res.render_trace(limit=3)
+    assert f"({len(res.trace) - 3} more events)" in cut
+    assert len(cut.splitlines()) == 1 + 3 + 1  # header + events + ellipsis
+
+
+def test_render_trace_without_tracing():
+    res = simulate(schedule_c(), spec=UNIT_MACHINE, capacity=8)
+    assert res.render_trace() == "(tracing was not enabled)"

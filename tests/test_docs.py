@@ -33,6 +33,8 @@ class TestDocNamesExist:
             ("repro.apps", ["BratuProblem", "newton_solve", "build_cg", "cg_solve"]),
             ("repro.graph", ["repeat_graph", "rename_versions", "classic"]),
             ("repro.experiments", ["full_sweep", "to_csv", "table2", "run_figure7"]),
+            ("repro.obs", ["Instrument", "MetricsSuite", "build_metrics",
+                           "chrome_trace", "html_report", "TraceLog"]),
         ],
     )
     def test_api_reference_names(self, module, names):
@@ -43,7 +45,7 @@ class TestDocNamesExist:
             assert hasattr(mod, n), f"{module}.{n} referenced in docs but missing"
 
     def test_doc_files_exist(self):
-        for f in ("PROTOCOL.md", "TUTORIAL.md", "API.md"):
+        for f in ("PROTOCOL.md", "TUTORIAL.md", "API.md", "observability.md"):
             assert (DOCS / f).exists()
         for f in ("README.md", "DESIGN.md", "EXPERIMENTS.md"):
             assert (ROOT / f).exists()
