@@ -10,8 +10,11 @@ Usage::
     python -m repro example            # the Figure 2/3/5 walkthrough
     python -m repro all                # everything (a few minutes)
     python -m repro sweep --jobs 0 --metrics   # grid CSV + telemetry columns
+    python -m repro sweep --check      # + invariant-violations column
     python -m repro trace --metrics metrics.json --trace-out trace.json \
         --report report.html           # one instrumented run, exported
+    python -m repro check --seed 7     # conformance batch: invariants + oracle
+    python -m repro check --fault overwrite --trace-out fail.json
 """
 
 from __future__ import annotations
@@ -158,6 +161,50 @@ def _run_trace(args) -> int:
     return 0
 
 
+def _run_check_cmd(args) -> int:
+    """Conformance batch: invariant checking + differential oracle.
+
+    Exit status is 0 iff every checked run is clean — so
+    ``repro check --fault overwrite`` exits non-zero by design (the
+    deliberately injected slot overwrite must be detected).
+    """
+    from .conformance import check_batch, fault_preset, write_violation_trace
+    from .conformance.check import overwrite_demo
+
+    faults = fault_preset(args.fault, seed=args.seed) if args.fault else None
+    procs = args.procs[0] if args.procs else 3
+    reports = check_batch(
+        args.seed,
+        graphs=args.graphs,
+        procs=procs,
+        faults=faults,
+        fraction=args.fraction,
+    )
+    if args.fault == "overwrite":
+        # Organic plans are self-throttling (see overwrite_scenario), so
+        # the overwrite kind additionally runs the buggy-planner demo.
+        reports.append(overwrite_demo(seed=args.seed))
+    failing = None
+    for r in reports:
+        print(r.summary())
+        for v in r.violations:
+            print(f"    {v}")
+        if r.deadlock:
+            print("    " + r.deadlock.replace("\n", "\n    "))
+        if r.oracle is not None and not r.oracle.ok:
+            print("    " + str(r.oracle).replace("\n", "\n    "))
+        if not r.ok and failing is None:
+            failing = r
+    bad = sum(1 for r in reports if not r.ok)
+    print(f"{len(reports) - bad}/{len(reports)} checked runs clean")
+    if failing is not None and args.trace_out and failing.checker is not None:
+        write_violation_trace(
+            failing.checker, args.trace_out, label=failing.label
+        )
+        print(f"wrote {args.trace_out} (open at ui.perfetto.dev)")
+    return 0 if bad == 0 else 1
+
+
 def run_experiment(name: str, ctx: ExperimentContext, args) -> str:
     procs = tuple(args.procs) if args.procs else None
     if name == "table1":
@@ -222,16 +269,32 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         choices=("rcp", "mpo", "dts"),
                         help="trace: ordering heuristic")
     parser.add_argument("--fraction", type=float, default=0.5,
-                        help="trace: memory capacity as a fraction of TOT")
+                        help="trace/check: memory capacity as a fraction of "
+                             "TOT (check: position between MIN_MEM and TOT)")
+    parser.add_argument("--check", action="store_true",
+                        help="sweep: attach the invariant checker to every "
+                             "cell and add a 'violations' column")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="check: base seed of the random-DAG batch")
+    parser.add_argument("--graphs", type=int, default=10,
+                        help="check: number of seeded random DAGs")
+    parser.add_argument("--fault", default=None,
+                        choices=("delay", "jitter", "consume", "slow",
+                                 "tighten", "overwrite"),
+                        help="check: fault-injection preset to apply "
+                             "(see docs/conformance.md)")
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
         print("\n".join(
-            EXPERIMENTS + ("example", "svg", "sweep", "trace", "validate")
+            EXPERIMENTS
+            + ("example", "svg", "sweep", "trace", "check", "validate")
         ))
         return 0
     if args.experiment == "trace":
         return _run_trace(args)
+    if args.experiment == "check":
+        return _run_check_cmd(args)
     if args.experiment == "example":
         print(_paper_example_walkthrough())
         return 0
@@ -256,6 +319,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             procs=tuple(args.procs) if args.procs else (2, 4, 8, 16, 32),
             jobs=args.jobs,
             metrics=args.metrics is not None,
+            check=args.check,
         )
         out = pathlib.Path(args.out)
         target = out / "sweep.csv" if out.is_dir() or not out.suffix else out

@@ -1,0 +1,84 @@
+"""Export the failing window of a checked run as a Chrome trace.
+
+When an invariant fails mid-run there may be no :class:`SimResult` to
+feed the full :mod:`repro.obs.chrome_trace` exporter (strict mode raises
+out of ``run()``, a deadlock aborts it).  The
+:class:`~repro.conformance.invariants.InvariantChecker` therefore keeps
+a bounded window of recent protocol events; this module serialises that
+window — per-processor tracks of instant events, with violations marked
+on their processor's track — in the Trace Event JSON format, loadable at
+https://ui.perfetto.dev like every other trace the repo emits.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+#: Simulator seconds -> trace microseconds.
+_US = 1e6
+
+__all__ = ["violation_trace", "write_violation_trace"]
+
+
+def violation_trace(checker, label: str = "conformance window") -> dict:
+    """Trace-event document of a checker's recent-event window.
+
+    Ordinary protocol events become thread-scoped instants; violations
+    become process-scoped instants (rendered prominently by Perfetto)
+    carrying the full violation text in ``args``.
+    """
+    events: list[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": 0,
+            "args": {"name": f"repro conformance ({label})"},
+        }
+    ]
+    for q in range(checker.nprocs):
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": q,
+                "args": {"name": f"P{q}"},
+            }
+        )
+    body: list[dict] = []
+    for t, proc, kind, detail in checker.window:
+        ev = {
+            "name": kind,
+            "cat": "violation" if kind == "VIOLATION" else "protocol",
+            "ph": "i",
+            "s": "p" if kind == "VIOLATION" else "t",
+            "pid": 0,
+            "tid": proc,
+            "ts": t * _US,
+            "args": {"detail": detail},
+        }
+        body.append(ev)
+    body.sort(key=lambda e: e["ts"])
+    events.extend(body)
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "schema": "repro-conformance-trace/1",
+            "violations": len(checker.violations),
+            "window_events": len(checker.window),
+        },
+    }
+
+
+def write_violation_trace(
+    checker, path: Optional[str] = None, label: str = "conformance window"
+) -> str:
+    """Serialise :func:`violation_trace`; optionally write to ``path``."""
+    text = json.dumps(violation_trace(checker, label=label)) + "\n"
+    if path:
+        with open(path, "w") as fh:
+            fh.write(text)
+    return text

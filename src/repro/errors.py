@@ -101,3 +101,20 @@ class DeadlockError(SimulationError):
 
 class DataConsistencyError(SimulationError):
     """A processor observed a stale or wrong version of a data object."""
+
+
+class InvariantViolationError(SimulationError):
+    """An online protocol invariant failed during a checked execution.
+
+    Raised by :class:`repro.conformance.InvariantChecker` in strict mode;
+    in the default collecting mode violations are recorded instead.  The
+    ``violation`` attribute carries the structured
+    :class:`~repro.conformance.invariants.Violation` record.
+    """
+
+    def __init__(self, violation):
+        self.violation = violation
+        super().__init__(
+            f"invariant {violation.invariant!r} violated at "
+            f"t={violation.time:g} on P{violation.proc}: {violation.detail}"
+        )

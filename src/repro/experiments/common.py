@@ -64,6 +64,10 @@ class CellMetrics:
     map_overhead_frac: Optional[float] = None
     max_hwm: Optional[float] = None
     max_suspq: Optional[float] = None
+    #: Invariant violations observed by the conformance checker; ``None``
+    #: unless measured with ``collect_check=True`` (``inf`` when
+    #: non-executable, matching the timing fields).
+    violations: Optional[float] = None
 
     @property
     def pt_increase_pct(self) -> float:
@@ -81,7 +85,7 @@ class ExperimentContext:
         self._profiles: dict[tuple, MemoryProfile] = {}
         self._compiled: dict[tuple, CompiledSchedule] = {}
         self._baseline_pt: dict[tuple, float] = {}
-        self._sims: dict[tuple, SimResult] = {}
+        self._sims: dict[tuple, tuple[SimResult, Optional[int]]] = {}
 
     # -- workloads -------------------------------------------------------
 
@@ -183,6 +187,7 @@ class ExperimentContext:
         reference: str = "self",
         merge_capacity: bool = False,
         collect_metrics: bool = False,
+        collect_check: bool = False,
     ) -> CellMetrics:
         """Measure one table cell.
 
@@ -192,9 +197,10 @@ class ExperimentContext:
         heuristic receives the capacity (DTS slice merging).  With
         ``collect_metrics=True`` the simulation runs instrumented
         (:mod:`repro.obs`) and the telemetry fields of
-        :class:`CellMetrics` are populated; instrumented and plain
-        results are cached separately so mixing the two modes never
-        reuses the wrong run.
+        :class:`CellMetrics` are populated; with ``collect_check=True``
+        a :class:`~repro.conformance.InvariantChecker` rides along and
+        fills the ``violations`` field.  Results of the different modes
+        are cached separately so mixing them never reuses the wrong run.
         """
         tot = (
             self.reference_tot(key, p)
@@ -211,16 +217,27 @@ class ExperimentContext:
                 map_overhead_frac=INF if collect_metrics else None,
                 max_hwm=INF if collect_metrics else None,
                 max_suspq=INF if collect_metrics else None,
+                violations=INF if collect_check else None,
             )
-        sk = (key, p, heuristic, cap_arg, capacity, collect_metrics)
+        sk = (key, p, heuristic, cap_arg, capacity, collect_metrics, collect_check)
         if sk not in self._sims:
-            self._sims[sk] = Simulator(
+            checker = None
+            if collect_check:
+                from ..conformance import InvariantChecker
+
+                checker = InvariantChecker(self.compiled(key, p, heuristic, cap_arg))
+            res = Simulator(
                 spec=self.spec,
                 capacity=capacity,
                 compiled=self.compiled(key, p, heuristic, cap_arg),
                 metrics=collect_metrics,
+                instrument=checker,
             ).run()
-        res = self._sims[sk]
+            self._sims[sk] = (
+                res,
+                len(checker.violations) if checker is not None else None,
+            )
+        res, nviol = self._sims[sk]
         summary = res.metrics["summary"] if collect_metrics else None
         return CellMetrics(
             executable=True,
@@ -233,6 +250,7 @@ class ExperimentContext:
             map_overhead_frac=summary["map_overhead_frac"] if summary else None,
             max_hwm=float(summary["max_hwm"]) if summary else None,
             max_suspq=float(summary["max_suspq"]) if summary else None,
+            violations=float(nviol) if nviol is not None else None,
         )
 
 

@@ -51,6 +51,11 @@ METRIC_FIELDS = (
     "max_suspq",
 )
 
+#: Conformance column appended when the sweep ran with ``check=True``
+#: (opt-in, like the telemetry columns — a plain sweep's CSV is
+#: unchanged).
+CHECK_FIELDS = ("violations",)
+
 
 @dataclass(frozen=True)
 class SweepRecord:
@@ -69,6 +74,8 @@ class SweepRecord:
     map_overhead_frac: Optional[float] = None
     max_hwm: Optional[float] = None
     max_suspq: Optional[float] = None
+    #: populated only by ``full_sweep(..., check=True)``
+    violations: Optional[float] = None
 
 
 def _run_group(
@@ -79,13 +86,15 @@ def _run_group(
     fractions: Sequence[float],
     reference: str,
     metrics: bool = False,
+    check: bool = False,
 ) -> list[SweepRecord]:
     """All records of one (workload, procs) group, in grid order."""
     out: list[SweepRecord] = []
     for h in heuristics:
         for f in fractions:
             cell = ctx.run_cell(
-                key, p, h, f, reference=reference, collect_metrics=metrics
+                key, p, h, f, reference=reference, collect_metrics=metrics,
+                collect_check=check,
             )
             out.append(
                 SweepRecord(
@@ -103,6 +112,7 @@ def _run_group(
                     map_overhead_frac=cell.map_overhead_frac,
                     max_hwm=cell.max_hwm,
                     max_suspq=cell.max_suspq,
+                    violations=cell.violations,
                 )
             )
     return out
@@ -121,10 +131,10 @@ def _worker_init(spec, registered) -> None:
 
 
 def _worker_run_group(args) -> list[SweepRecord]:
-    key, p, heuristics, fractions, reference, metrics = args
+    key, p, heuristics, fractions, reference, metrics, check = args
     assert _WORKER_CTX is not None
     return _run_group(
-        _WORKER_CTX, key, p, heuristics, fractions, reference, metrics
+        _WORKER_CTX, key, p, heuristics, fractions, reference, metrics, check
     )
 
 
@@ -137,6 +147,7 @@ def full_sweep(
     reference: str = "rcp",
     jobs: Optional[int] = 1,
     metrics: bool = False,
+    check: bool = False,
 ) -> list[SweepRecord]:
     """Run the full grid; non-executable cells get ``inf`` metrics.
 
@@ -152,6 +163,11 @@ def full_sweep(
     ``max_suspq``); the timing fields are unaffected because the
     simulation is deterministic and instrumentation never changes event
     order.
+
+    ``check=True`` attaches a
+    :class:`~repro.conformance.InvariantChecker` to every cell's
+    simulation and fills the ``violations`` column (0 everywhere when
+    Theorem 1 holds; non-executable cells get ``inf``).
     """
     if not jobs or jobs < 0:
         jobs = os.cpu_count() or 1
@@ -160,11 +176,13 @@ def full_sweep(
         out: list[SweepRecord] = []
         for key, p in groups:
             out.extend(
-                _run_group(ctx, key, p, heuristics, fractions, reference, metrics)
+                _run_group(
+                    ctx, key, p, heuristics, fractions, reference, metrics, check
+                )
             )
         return out
     tasks = [
-        (key, p, tuple(heuristics), tuple(fractions), reference, metrics)
+        (key, p, tuple(heuristics), tuple(fractions), reference, metrics, check)
         for key, p in groups
     ]
     with ProcessPoolExecutor(
@@ -180,12 +198,15 @@ def to_csv(records: Iterable[SweepRecord], path: Optional[str] = None) -> str:
     """Serialise sweep records as CSV; optionally write to ``path``.
 
     The telemetry columns of :data:`METRIC_FIELDS` appear only when some
-    record carries them (i.e. the sweep ran with ``metrics=True``);
+    record carries them (i.e. the sweep ran with ``metrics=True``), and
+    the ``violations`` column only when the sweep ran with ``check=True``;
     without them the output is byte-identical to a plain sweep's CSV.
     """
     records = list(records)
     with_metrics = any(r.map_overhead_frac is not None for r in records)
     fields = FIELDS + METRIC_FIELDS if with_metrics else FIELDS
+    if any(r.violations is not None for r in records):
+        fields = fields + CHECK_FIELDS
     buf = io.StringIO()
     writer = csv.DictWriter(buf, fieldnames=fields, extrasaction="ignore")
     writer.writeheader()
@@ -232,6 +253,7 @@ def from_csv(text: str) -> list[SweepRecord]:
                 map_overhead_frac=opt("map_overhead_frac"),
                 max_hwm=opt("max_hwm"),
                 max_suspq=opt("max_suspq"),
+                violations=opt("violations"),
             )
         )
     return out

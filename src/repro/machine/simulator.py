@@ -452,6 +452,7 @@ class Simulator:
         compiled: Optional[CompiledSchedule] = None,
         metrics: bool = False,
         instrument: Optional[Instrument] = None,
+        faults: Optional["FaultSpec"] = None,  # noqa: F821
     ):
         """See class docstring; ``preknown_addresses=True`` models a
         steady-state iteration of an iterative application (RAPID's
@@ -465,7 +466,14 @@ class Simulator:
         ``SimResult.metrics``/``SimResult.telemetry``; ``instrument``
         attaches a custom :class:`~repro.obs.instrument.Instrument`
         (reused across runs — its ``on_run_begin`` must reset state).
-        Both compose with ``trace=True``."""
+        Both compose with ``trace=True``.
+
+        ``faults`` accepts a
+        :class:`~repro.conformance.faults.FaultSpec` (duck-typed:
+        anything with ``active`` and ``injector()``); each run draws a
+        fresh run-local injector, so faulted executions stay
+        deterministic and repeatable.  An inactive spec costs one
+        ``is None`` test per injection site."""
         if compiled is None:
             if schedule is None:
                 raise SimulationError("Simulator needs a schedule or a compiled schedule")
@@ -482,6 +490,7 @@ class Simulator:
         self.trace_enabled = trace
         self.metrics_enabled = metrics
         self.instrument = instrument
+        self.faults = faults
         self.schedule_label = (
             f"{self.schedule.meta.get('heuristic', '?')}"
             f":p{self.p}:{self.g.num_tasks}t"
@@ -562,6 +571,12 @@ class Simulator:
         if observing:
             obs.on_run_begin(0.0, nprocs, self.capacity, self.memory_managed)
 
+        #: Run-local fault injector; ``None`` (the common case) keeps
+        #: every injection site at a single local-is-None test.
+        fi = None
+        if self.faults is not None and self.faults.active:
+            fi = self.faults.injector()
+
         state = [REC] * nprocs
         idx = [0] * nprocs
         avail = [0.0] * nprocs  # earliest time of the next local action
@@ -634,12 +649,15 @@ class Simulator:
                 )
             t2 = charge(q, t, spec.send_overhead, "send")
             stats[q].data_msgs_sent += 1
+            net = spec.message_time(nbytes)
             if spec.nic_serialize:
                 start = max(nic_free[q], t2)
                 nic_free[q] = start + nbytes * spec.byte_time
-                arrive = start + spec.message_time(nbytes)
+                arrive = start + net
             else:
-                arrive = t2 + spec.message_time(nbytes)
+                arrive = t2 + net
+            if fi is not None:
+                arrive += fi.put_delay(q, dest, net)
             if observing:
                 obs.on_put(t2, arrive, q, dest, m, unit, nbytes)
             post(arrive, _DATA_ARRIVE, (dest, m, unit, q))
@@ -656,7 +674,10 @@ class Simulator:
                     if observing:
                         obs.on_package_read(max(avail[q], t), q, src, len(objs))
                     # Consuming frees the sender's slot after one latency.
-                    post(max(avail[q], t) + spec.put_latency, _SLOT_FREE, (src, q))
+                    free_at = max(avail[q], t) + spec.put_latency
+                    if fi is not None:
+                        free_at += fi.consume_delay(q, src, spec.put_latency)
+                    post(free_at, _SLOT_FREE, (src, q))
                 inbox[q].clear()
             if suspended[q]:
                 still: list[tuple[str, str, int, int]] = []
@@ -676,7 +697,7 @@ class Simulator:
             """Send pending address packages; True when none remain."""
             still: list[tuple[int, list[str]]] = []
             for dst, objs in pending_pkgs[q]:
-                if slot_busy[q][dst]:
+                if slot_busy[q][dst] and (fi is None or not fi.overwrite_slots):
                     still.append((dst, objs))
                     if observing:
                         obs.on_package_block(max(avail[q], t), q, dst, len(objs))
@@ -763,6 +784,8 @@ class Simulator:
                 # EXE
                 state[q] = EXE
                 w = weight[task]
+                if fi is not None:
+                    w *= fi.exe_factor(q)
                 start = max(avail[q], t)
                 stats[q].busy_time += w
                 avail[q] = start + w
@@ -876,11 +899,17 @@ class Simulator:
                 q: state[q].value for q in range(nprocs) if state[q] is not DONE
             }
             err = DeadlockError(blocked, len(done), self.g.num_tasks)
-            # Attach a per-processor diagnosis (next task + unmet needs).
+            # Attach a per-processor diagnosis (next task + unmet needs)
+            # plus the wait-for edges the conformance layer turns into a
+            # cycle witness: blocked proc -> procs it waits on.
             details: dict[int, str] = {}
+            wait_for: dict[int, set[int]] = {}
+            assignment = sched.assignment
+            trigger = cs.trigger
             for q in range(nprocs):
                 if state[q] is ProcState.DONE:
                     continue
+                waits = wait_for.setdefault(q, set())
                 order = sched.orders[q]
                 if idx[q] < len(order):
                     task = order[idx[q]]
@@ -888,14 +917,27 @@ class Simulator:
                     for req in cs.needs[task]:
                         if req[0] == "data" and req[2] not in received_data[q].get(req[1], ()):
                             missing.append(f"data {req[1]}@{req[2]}")
+                            waits.add(assignment[trigger[req[2]]])
                         elif req[0] == "sync" and req[1] not in received_sync[q]:
                             missing.append(f"sync {req[1]}")
+                            waits.add(assignment[req[1]])
                     details[q] = f"next={task} missing={missing}"
                 else:
                     details[q] = (
                         f"END suspended={suspended[q]} pending_pkgs={pending_pkgs[q]}"
                     )
+                # A blocked MAP waits on the destination whose slot is
+                # busy; a suspended put waits on its destination's MAP
+                # (the address package travels dest -> sender).
+                for dst, _objs in pending_pkgs[q]:
+                    if slot_busy[q][dst]:
+                        waits.add(dst)
+                for m, _unit, dest, _nbytes in suspended[q]:
+                    if (m, dest) not in addr_known[q]:
+                        waits.add(dest)
+                waits.discard(q)
             err.details = details
+            err.wait_for = wait_for
             raise err
         if len(done) != self.g.num_tasks:
             raise SimulationError(

@@ -1,0 +1,55 @@
+"""CLI contract of `repro check` and `repro sweep --check`."""
+
+import json
+
+from repro.cli import main
+
+
+def test_check_clean_exit_zero(capsys):
+    assert main(["check", "--seed", "7", "--graphs", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "9/9 checked runs clean" in out
+    assert "paper/rcp: OK" in out and "oracle ok" in out
+
+
+def test_check_overwrite_fails_with_witness(tmp_path, capsys):
+    trace = tmp_path / "fail.json"
+    code = main([
+        "check", "--fault", "overwrite", "--graphs", "1",
+        "--trace-out", str(trace),
+    ])
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "slot-overwrite" in out
+    assert "cycle: P0 -> P1 -> P0" in out
+    doc = json.loads(trace.read_text())
+    assert doc["otherData"]["schema"] == "repro-conformance-trace/1"
+    assert doc["otherData"]["violations"] >= 1
+
+
+def test_check_nonbreaking_fault_stays_clean(capsys):
+    assert main(["check", "--fault", "slow", "--graphs", "1"]) == 0
+    assert "checked runs clean" in capsys.readouterr().out
+
+
+def test_list_mentions_check(capsys):
+    assert main(["list"]) == 0
+    assert "check" in capsys.readouterr().out.split()
+
+
+def test_sweep_check_column(tmp_path, capsys):
+    """`sweep --check` appends the violations column; without the flag
+    the CSV is unchanged (byte-identical opt-in contract)."""
+    plain = tmp_path / "plain.csv"
+    checked = tmp_path / "checked.csv"
+    assert main(["sweep", "--procs", "4", "--out", str(plain)]) == 0
+    assert main(["sweep", "--procs", "4", "--check", "--out", str(checked)]) == 0
+    capsys.readouterr()
+    plain_lines = plain.read_text().splitlines()
+    checked_lines = checked.read_text().splitlines()
+    assert not plain_lines[0].endswith(",violations")
+    assert checked_lines[0] == plain_lines[0] + ",violations"
+    for pl_row, ck_row in zip(plain_lines[1:], checked_lines[1:]):
+        prefix, viol = ck_row.rsplit(",", 1)
+        assert prefix == pl_row  # timing unchanged by the checker
+        assert viol in ("0.0", "inf")

@@ -1,0 +1,70 @@
+"""Fault-matrix regression: (fault kind x heuristic) on the paper
+example.  Invariants must hold in every cell, and the makespan
+degradation ratios are golden values — the simulation plus seeded faults
+is fully deterministic, so any drift is a behaviour change."""
+
+import pytest
+
+from repro.conformance import fault_preset, run_check
+from repro.conformance.check import overwrite_demo
+from repro.core.dts import dts_order
+from repro.core.mpo import mpo_order
+from repro.core.rcp import rcp_order
+from repro.graph.paper_example import (
+    paper_assignment,
+    paper_example_graph,
+    paper_placement,
+)
+
+ORDERINGS = {"rcp": rcp_order, "mpo": mpo_order, "dts": dts_order}
+
+#: Golden PT(faulted)/PT(clean) ratios (seed 0 presets, UNIT_MACHINE).
+GOLDEN = {
+    "rcp": {"delay": 1.705882, "jitter": 1.20134, "consume": 1.0,
+            "slow": 1.470588, "tighten": 1.117647},
+    "mpo": {"delay": 1.647059, "jitter": 1.198687, "consume": 1.0,
+            "slow": 1.294118, "tighten": 1.117647},
+    "dts": {"delay": 1.823529, "jitter": 1.318987, "consume": 1.0,
+            "slow": 1.352941, "tighten": 1.117647},
+}
+
+#: Loose physical bounds: a fault never speeds the run up, and the
+#: presets never more than double the paper example's makespan.
+MAX_DEGRADATION = 2.0
+
+
+@pytest.fixture(scope="module")
+def schedules():
+    g = paper_example_graph()
+    pl = paper_placement()
+    asg = paper_assignment(g, pl)
+    return {h: fn(g, pl, asg) for h, fn in ORDERINGS.items()}
+
+
+@pytest.mark.parametrize("heuristic", sorted(ORDERINGS))
+@pytest.mark.parametrize("kind", sorted(GOLDEN["rcp"]))
+def test_fault_matrix_cell(schedules, heuristic, kind):
+    sched = schedules[heuristic]
+    base = run_check(sched, oracle=False)
+    assert base.ok
+    cell = run_check(sched, faults=fault_preset(kind), oracle=False)
+    assert cell.ok, cell.summary()  # invariants hold under the fault
+    ratio = cell.parallel_time / base.parallel_time
+    assert ratio == pytest.approx(GOLDEN[heuristic][kind], rel=1e-4)
+    assert 1.0 - 1e-9 <= ratio <= MAX_DEGRADATION
+
+
+@pytest.mark.parametrize("heuristic", sorted(ORDERINGS))
+def test_overwrite_column_is_detected(schedules, heuristic):
+    """The protocol-breaking kind: plans are self-throttling so the
+    heuristics' own schedules survive it, and the buggy-planner demo is
+    caught."""
+    cell = run_check(
+        schedules[heuristic], faults=fault_preset("overwrite"), oracle=False
+    )
+    # no organic overwrite on the paper example, but the run must not
+    # silently corrupt anything either
+    assert cell.deadlock is None and cell.error is None
+    demo = overwrite_demo()
+    assert not demo.ok
+    assert any(v.invariant == "slot-overwrite" for v in demo.violations)

@@ -1,0 +1,86 @@
+"""Property tests: Theorem 1 as checked executions.
+
+Random DAGs, all three heuristics, any capacity in ``[MIN_MEM, TOT]``
+(which is always at least the plan's statically predicted peak): the
+online invariant checker must observe zero violations and the run must
+terminate — with and without (non-breaking) injected faults.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.conformance import InvariantChecker, fault_preset, run_check
+from repro.core import analyze_memory, cyclic_placement, owner_compute_assignment
+from repro.core.dts import dts_order
+from repro.core.mpo import mpo_order
+from repro.core.rcp import rcp_order
+from repro.graph import generators as gen
+from repro.machine.simulator import CompiledSchedule, Simulator
+from repro.machine.spec import UNIT_MACHINE
+
+ORDERINGS = (rcp_order, mpo_order, dts_order)
+
+params = st.tuples(
+    st.integers(10, 35),
+    st.integers(3, 8),
+    st.integers(0, 10_000),
+    st.integers(2, 4),
+)
+
+
+def make(ps):
+    n, m, seed, p = ps
+    g = gen.random_trace(n, m, seed=seed)
+    pl = cyclic_placement(g, p)
+    return g, pl, owner_compute_assignment(g, pl)
+
+
+@settings(max_examples=20, deadline=None)
+@given(params, st.sampled_from(ORDERINGS), st.floats(0.0, 1.0))
+def test_zero_violations_at_any_feasible_capacity(ps, order_fn, frac):
+    """Capacity >= max(plan.predicted_peaks()) => clean checked run."""
+    g, pl, asg = make(ps)
+    s = order_fn(g, pl, asg)
+    prof = analyze_memory(s)
+    cap = int(prof.min_mem + frac * (prof.tot - prof.min_mem))
+    compiled = CompiledSchedule(s, profile=prof)
+    assert cap >= max(compiled.plan_for(cap).predicted_peaks())
+    checker = InvariantChecker(compiled)
+    res = Simulator(
+        spec=UNIT_MACHINE, capacity=cap, compiled=compiled, instrument=checker
+    ).run()
+    assert checker.ok, checker.report()
+    assert res.parallel_time > 0  # terminated
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    params,
+    st.sampled_from(ORDERINGS),
+    st.sampled_from(("delay", "jitter", "consume", "slow", "tighten")),
+    st.integers(0, 1_000),
+)
+def test_faulted_runs_stay_clean(ps, order_fn, kind, fault_seed):
+    """Theorem 1 under perturbation: any non-breaking fault still yields
+    a terminating run with zero violations and a consistent oracle."""
+    g, pl, asg = make(ps)
+    s = order_fn(g, pl, asg)
+    r = run_check(s, faults=fault_preset(kind, seed=fault_seed))
+    assert r.ok, r.summary()
+
+
+@settings(max_examples=10, deadline=None)
+@given(params, st.sampled_from(ORDERINGS))
+def test_checked_run_does_not_perturb_timing(ps, order_fn):
+    """The checker is an observer: attaching it never changes the
+    simulated makespan."""
+    g, pl, asg = make(ps)
+    s = order_fn(g, pl, asg)
+    compiled = CompiledSchedule(s)
+    cap = max(compiled.profile.tot, 1)
+    plain = Simulator(spec=UNIT_MACHINE, capacity=cap, compiled=compiled).run()
+    checker = InvariantChecker(compiled)
+    checked = Simulator(
+        spec=UNIT_MACHINE, capacity=cap, compiled=compiled, instrument=checker
+    ).run()
+    assert checked.parallel_time == plain.parallel_time
+    assert checker.ok

@@ -1,0 +1,63 @@
+"""Shared fixtures: the seeded-graph factory used across suites.
+
+``seeded_case`` builds a fully scheduled-ready case — graph, cyclic
+placement and owner-compute assignment — from a seed, so the scale,
+property and conformance suites all draw their random workloads from the
+same deterministic factory.
+"""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.core import cyclic_placement, owner_compute_assignment
+from repro.core.placement import Placement
+from repro.graph import generators
+from repro.graph.taskgraph import TaskGraph
+
+
+@dataclass(frozen=True)
+class GraphCase:
+    """One seeded workload, ready for any ordering heuristic."""
+
+    graph: TaskGraph
+    placement: Placement
+    assignment: dict
+    procs: int
+    seed: int
+    family: str
+
+
+def make_case(
+    seed: int = 0,
+    procs: int = 3,
+    family: str = "trace",
+    tasks: int = 30,
+    objects: int = 6,
+    layers: int = 6,
+    width: int = 5,
+    **kw,
+) -> GraphCase:
+    """Build a :class:`GraphCase`; ``family`` is ``"trace"`` (random
+    sequential access trace) or ``"layered"`` (layered random DAG)."""
+    if family == "trace":
+        g = generators.random_trace(tasks, objects, seed=seed, **kw)
+    elif family == "layered":
+        g = generators.layered_random(layers, width, seed=seed, **kw)
+    else:
+        raise ValueError(f"unknown graph family {family!r}")
+    pl = cyclic_placement(g, procs)
+    return GraphCase(
+        graph=g,
+        placement=pl,
+        assignment=owner_compute_assignment(g, pl),
+        procs=procs,
+        seed=seed,
+        family=family,
+    )
+
+
+@pytest.fixture
+def seeded_case():
+    """Factory fixture: ``seeded_case(seed=3, procs=4, family="layered")``."""
+    return make_case

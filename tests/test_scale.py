@@ -8,15 +8,12 @@ import pytest
 
 from repro.core import (
     analyze_memory,
-    cyclic_placement,
     dts_order,
     mpo_order,
-    owner_compute_assignment,
     plan_maps,
     rcp_order,
 )
 from repro.core.dts import dts_space_bound
-from repro.graph.generators import layered_random
 from repro.machine import UNIT_MACHINE, simulate
 from repro.sparse.cholesky import build_cholesky
 from repro.sparse.matrices import bcsstk15_like
@@ -24,12 +21,15 @@ from repro.sparse.matrices import bcsstk15_like
 
 @pytest.mark.slow
 class TestScale:
-    def test_wide_synthetic(self):
+    def test_wide_synthetic(self, seeded_case):
         t0 = time.time()
-        g = layered_random(50, 80, density=0.08, seed=5)  # 4000 tasks, wide
+        # 4000 tasks, wide
+        case = seeded_case(
+            seed=5, procs=16, family="layered", layers=50, width=80,
+            density=0.08,
+        )
+        g, pl, asg = case.graph, case.placement, case.assignment
         assert g.num_tasks == 4000
-        pl = cyclic_placement(g, 16)
-        asg = owner_compute_assignment(g, pl)
         for fn in (rcp_order, mpo_order, dts_order):
             s = fn(g, pl, asg)
             prof = analyze_memory(s)
