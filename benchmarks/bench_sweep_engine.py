@@ -10,7 +10,7 @@ performance trajectory of the engine can be compared across PRs::
     PYTHONPATH=src python benchmarks/bench_sweep_engine.py
     PYTHONPATH=src python -m pytest benchmarks/bench_sweep_engine.py -q
 
-The JSON schema is ``repro-bench-sweep/3`` (see EXPERIMENTS.md for the
+The JSON schema is ``repro-bench-sweep/4`` (see EXPERIMENTS.md for the
 field-by-field description).  Infinities are serialised as the string
 ``"inf"``, matching the sweep CSV convention.  Version 2 adds the
 ``instrumentation`` section: the cost of the :mod:`repro.obs` telemetry
@@ -19,7 +19,12 @@ attached (must be free: both take the ``observing = False`` fast path)
 and a fully instrumented ``metrics=True`` run.  Version 3 adds the
 ``conformance`` section: the cost of the :mod:`repro.conformance`
 layer — an inactive ``FaultSpec`` attached (must ride the ``fi is
-None`` fast path) and a full :class:`InvariantChecker` run.
+None`` fast path) and a full :class:`InvariantChecker` run.  Version 4
+adds the ``analysis`` section: the static analyzer
+(:func:`repro.analysis.analyze_schedule` over the compiled schedule's
+memoised plan) against a checked simulation of the same cell on the
+same plan — the analyzer proves the same properties without an event
+loop and is expected to be at least 5x cheaper.
 
 ``SEED_BASELINE`` holds reference timings of the pre-optimisation
 engine, measured back-to-back with the optimised engine on the same
@@ -228,6 +233,63 @@ def bench_conformance() -> dict:
     }
 
 
+def bench_analysis() -> dict:
+    """Static analyzer vs checked simulation on the same cell.
+
+    Both judge the same (schedule, capacity) configuration —
+    :func:`repro.analysis.analyze_schedule` by proving the Defs 1-6 /
+    Theorem 1 properties from the plan IR, the
+    :class:`InvariantChecker` by observing a full simulated execution.
+    Both sides read the compiled schedule's memoised
+    :meth:`CompiledSchedule.plan_for` plan (exactly what the simulator
+    executes), so the ratio compares the passes against the event loop,
+    not plan construction.  Best-of-``INSTRUMENTATION_REPEATS``
+    timings; the headline ratio is how much cheaper the static verdict
+    is.
+    """
+    from repro.analysis import analyze_schedule
+    from repro.conformance import InvariantChecker
+
+    ctx = ExperimentContext()
+    key = "lu-goodwin"
+    sched = ctx.schedule(key, SINGLE_RUN_PROCS, "rcp")
+    prof = ctx.profile(key, SINGLE_RUN_PROCS, "rcp")
+    capacity = int(math.floor(prof.tot * SINGLE_RUN_FRACTION))
+    cs = CompiledSchedule(sched, profile=prof)
+    plan = cs.plan_for(capacity)  # memoised: shared by both sides
+
+    # Each side pays its full per-cell cost (the compiled schedule and
+    # its plan are shared across a sweep; checker and simulator are
+    # not): the static side runs the three passes over the plan IR, the
+    # dynamic side builds the checker and simulator and runs the event
+    # loop on the same plan.
+    best = {"analyze": float("inf"), "checked": float("inf")}
+    report = checker = None
+    for _ in range(INSTRUMENTATION_REPEATS):
+        t0 = time.perf_counter()
+        report = analyze_schedule(
+            sched, capacity=capacity, profile=prof, plan=plan
+        )
+        best["analyze"] = min(best["analyze"], time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        checker = InvariantChecker(cs)
+        Simulator(
+            spec=ctx.spec, capacity=capacity, compiled=cs,
+            instrument=checker,
+        ).run()
+        best["checked"] = min(best["checked"], time.perf_counter() - t0)
+    assert report.ok and checker.ok  # both verdicts clean, and agreeing
+    return {
+        "workload": key,
+        "procs": SINGLE_RUN_PROCS,
+        "fraction": SINGLE_RUN_FRACTION,
+        "repeats": INSTRUMENTATION_REPEATS,
+        "analyze_s": round(best["analyze"], 4),
+        "checked_run_s": round(best["checked"], 4),
+        "checked_vs_analyze": round(best["checked"] / best["analyze"], 2),
+    }
+
+
 def bench_sweep() -> dict:
     """Serial sweep with per-cell timings, then the parallel executor;
     asserts the two produce identical records and CSV bytes."""
@@ -303,6 +365,7 @@ def run_benchmark(out_path: pathlib.Path = OUT_PATH) -> dict:
     single = bench_single_runs()
     instrumentation = bench_instrumentation()
     conformance = bench_conformance()
+    analysis = bench_analysis()
     sweep = bench_sweep()
     seed = SEED_BASELINE
     comparison = {
@@ -316,7 +379,7 @@ def run_benchmark(out_path: pathlib.Path = OUT_PATH) -> dict:
             seed["single_run"][key]["best_run_s"] / single[key]["best_run_s"], 2
         )
     report = {
-        "schema": "repro-bench-sweep/3",
+        "schema": "repro-bench-sweep/4",
         "generated_utc": datetime.now(timezone.utc).isoformat(timespec="seconds"),
         "machine": {
             "python": platform.python_version(),
@@ -333,6 +396,7 @@ def run_benchmark(out_path: pathlib.Path = OUT_PATH) -> dict:
         "single_run": single,
         "instrumentation": instrumentation,
         "conformance": conformance,
+        "analysis": analysis,
         "sweep": sweep,
         "seed_baseline": seed,
         "speedup_vs_seed": comparison,
@@ -364,6 +428,9 @@ def test_sweep_engine_benchmark():
     # The online invariant checker observes every event; a small
     # constant factor over the plain run is expected.
     assert report["conformance"]["checked_vs_plain"] < 5.0
+    # The static analyzer proves the same properties without an event
+    # loop; it must be much cheaper than a checked simulation.
+    assert report["analysis"]["checked_vs_analyze"] >= 5.0
     assert OUT_PATH.exists()
 
 
@@ -382,6 +449,10 @@ if __name__ == "__main__":
     print(f"conformance    : plain {conf['plain_s']*1e3:.1f}ms | "
           f"null-faults x{conf['null_faults_vs_plain']:.3f} | "
           f"checked x{conf['checked_vs_plain']:.3f}")
+    ana = report["analysis"]
+    print(f"analysis       : analyze {ana['analyze_s']*1e3:.1f}ms | "
+          f"checked run {ana['checked_run_s']*1e3:.1f}ms | "
+          f"checked/analyze x{ana['checked_vs_analyze']:.1f}")
     for k, v in report["speedup_vs_seed"].items():
         print(f"{k:24s}: {v:.2f}x")
     print(f"wrote {OUT_PATH}")

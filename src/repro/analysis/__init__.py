@@ -1,0 +1,47 @@
+"""Static schedule sanitizer: prove Definitions 1-6 / Theorem 1
+properties from the plan IR, before any simulation.
+
+The conformance layer (:mod:`repro.conformance`) observes one dynamic
+execution; this package proves the same catalogue *statically* on the
+``Schedule``/``MapPlan`` IR in O(plan) time: memory executability
+(``SA1xx``), free/alloc liveness (``SA2xx``), and the one-slot
+address-package protocol with Theorem 1's wait-for argument
+(``SA3xx``).  Entry points::
+
+    report  = analyze_schedule(schedule, fraction=0.5)
+    reports = analyze_batch(seed=7)        # the `repro analyze` batch
+    demo    = analyze_overwrite_demo()     # buggy planner, caught
+
+Findings are typed :class:`~repro.analysis.diagnostics.Diagnostic`
+values with stable rule codes shared with the dynamic invariant
+catalogue, exportable as text, ``repro-analysis/1`` JSON, or SARIF.
+"""
+
+from .diagnostics import Diagnostic, INVARIANT_RULES, RULES, Rule, Severity
+from .engine import (
+    AnalysisContext,
+    AnalysisReport,
+    analyze_plan,
+    analyze_schedule,
+    pick_capacity,
+)
+from .formats import render_text, to_json, to_sarif
+from .harness import analyze_batch, analyze_overwrite_demo
+
+__all__ = [
+    "AnalysisContext",
+    "AnalysisReport",
+    "Diagnostic",
+    "INVARIANT_RULES",
+    "RULES",
+    "Rule",
+    "Severity",
+    "analyze_batch",
+    "analyze_overwrite_demo",
+    "analyze_plan",
+    "analyze_schedule",
+    "pick_capacity",
+    "render_text",
+    "to_json",
+    "to_sarif",
+]

@@ -1,0 +1,166 @@
+"""The pass pipeline: one static analysis of a schedule + MAP plan.
+
+:func:`analyze_schedule` resolves capacity and plan (mirroring the
+conformance harness so static and dynamic verdicts are about the *same*
+configuration), runs the three passes in order — memory (Defs 5-6),
+liveness sanitizer (Defs 3-4), protocol (Def 4 / Theorem 1) — and
+returns an :class:`AnalysisReport`.  Cost is O(plan): no simulator, no
+event loop; the benchmark section ``analysis`` of
+``benchmarks/bench_sweep_engine.py`` measures the ratio to a checked
+simulation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..core.liveness import MemoryProfile, analyze_memory
+from ..core.maps import MapPlan, plan_maps
+from ..core.schedule import Schedule
+from ..errors import NonExecutableScheduleError
+from .diagnostics import Diagnostic, Severity
+from .memory import memory_pass
+from .protocol import protocol_pass
+from .sanitizer import sanitizer_pass
+
+__all__ = [
+    "AnalysisContext",
+    "AnalysisReport",
+    "analyze_plan",
+    "analyze_schedule",
+    "pick_capacity",
+]
+
+
+def pick_capacity(profile: MemoryProfile, fraction: Optional[float]) -> int:
+    """Capacity between MIN_MEM (0.0) and TOT (1.0); ``None`` = TOT.
+
+    The canonical knob shared by ``repro check`` and ``repro analyze``
+    (the conformance harness delegates here), so both layers judge the
+    same capacity for a given fraction.
+    """
+    if fraction is None:
+        return max(profile.tot, 1)
+    fraction = min(max(fraction, 0.0), 1.0)
+    cap = profile.min_mem + fraction * (profile.tot - profile.min_mem)
+    return max(int(math.floor(cap)), profile.min_mem, 1)
+
+
+@dataclass
+class AnalysisContext:
+    """Shared state handed to every pass."""
+
+    schedule: Schedule
+    capacity: int
+    profile: MemoryProfile
+    #: ``None`` when the schedule is non-executable under the capacity.
+    plan: Optional[MapPlan]
+
+
+@dataclass
+class AnalysisReport:
+    """All findings of one static analysis."""
+
+    label: str
+    capacity: int
+    num_procs: int
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == Severity.ERROR]
+
+    @property
+    def warnings(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics
+                if d.severity == Severity.WARNING]
+
+    @property
+    def ok(self) -> bool:
+        """No error-severity findings (warnings/infos do not fail)."""
+        return not self.errors
+
+    def by_rule(self) -> dict[str, list[Diagnostic]]:
+        out: dict[str, list[Diagnostic]] = {}
+        for d in self.diagnostics:
+            out.setdefault(d.rule, []).append(d)
+        return out
+
+    def cycles(self) -> list[tuple[int, ...]]:
+        """Processor cycles of the deadlock findings (SA301)."""
+        return [d.cycle for d in self.diagnostics if d.cycle]
+
+    def summary(self) -> str:
+        if not self.diagnostics:
+            return f"{self.label}: OK (capacity={self.capacity})"
+        counts = {code: len(ds) for code, ds in sorted(self.by_rule().items())}
+        body = ", ".join(f"{c} x{n}" for c, n in counts.items())
+        verdict = "OK" if self.ok else "FAIL"
+        return f"{self.label}: {verdict} ({body}; capacity={self.capacity})"
+
+    def render(self, hints: bool = False) -> str:
+        lines = [self.summary()]
+        for d in self.diagnostics:
+            lines.append(f"  {d}")
+            if hints:
+                lines.append(f"    hint: {d.hint}")
+            if d.witness:
+                lines.extend(f"    {ln}" for ln in d.witness.splitlines())
+        return "\n".join(lines)
+
+
+_PASSES = (memory_pass, sanitizer_pass, protocol_pass)
+
+
+def analyze_schedule(
+    schedule: Schedule,
+    *,
+    capacity: Optional[int] = None,
+    fraction: Optional[float] = None,
+    profile: Optional[MemoryProfile] = None,
+    plan: Optional[MapPlan] = None,
+    label: str = "",
+) -> AnalysisReport:
+    """Statically analyze ``schedule`` under a capacity.
+
+    Capacity resolution mirrors :func:`repro.conformance.check.run_check`:
+    explicit ``capacity`` wins, else ``fraction`` interpolates between
+    MIN_MEM and TOT, else TOT.  When no ``plan`` is supplied one is
+    computed with :func:`repro.core.maps.plan_maps`; a non-executable
+    schedule yields no plan and is reported via ``SA101`` instead of
+    raising.
+    """
+    if profile is None:
+        profile = plan.profile if plan is not None else analyze_memory(schedule)
+    if capacity is None:
+        capacity = (plan.capacity if plan is not None
+                    else pick_capacity(profile, fraction))
+    if plan is None and profile.executable_under(capacity):
+        try:
+            plan = plan_maps(schedule, capacity, profile)
+        except NonExecutableScheduleError:  # defensive; SA101 covers it
+            plan = None
+    ctx = AnalysisContext(
+        schedule=schedule, capacity=capacity, profile=profile, plan=plan
+    )
+    report = AnalysisReport(
+        label=label or schedule.meta.get("heuristic", "schedule"),
+        capacity=capacity,
+        num_procs=schedule.num_procs,
+    )
+    for p in _PASSES:
+        report.diagnostics.extend(p(ctx))
+    return report
+
+
+def analyze_plan(plan: MapPlan, label: str = "") -> AnalysisReport:
+    """Analyze an existing plan (its own schedule and capacity)."""
+    return analyze_schedule(
+        plan.schedule,
+        capacity=plan.capacity,
+        profile=plan.profile,
+        plan=plan,
+        label=label,
+    )

@@ -1,0 +1,106 @@
+"""Exchange formats for analysis reports: text, JSON, SARIF.
+
+The JSON schema is ``repro-analysis/1``; the SARIF export targets the
+2.1.0 standard (one run, one result per diagnostic, the rule catalogue
+in the tool's driver) so CI systems can annotate findings natively.
+Both are deterministic — no timestamps, stable ordering — so golden
+files and ``--jobs`` comparisons stay byte-identical.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from .diagnostics import RULES, Severity
+from .engine import AnalysisReport
+
+__all__ = ["render_text", "to_json", "to_sarif"]
+
+JSON_SCHEMA = "repro-analysis/1"
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+
+_SARIF_LEVEL = {
+    Severity.ERROR: "error",
+    Severity.WARNING: "warning",
+    Severity.INFO: "note",
+}
+
+
+def render_text(reports: Iterable[AnalysisReport], hints: bool = False) -> str:
+    return "\n".join(r.render(hints=hints) for r in reports)
+
+
+def to_json(reports: Iterable[AnalysisReport]) -> dict:
+    runs = []
+    for r in reports:
+        runs.append({
+            "label": r.label,
+            "capacity": r.capacity,
+            "num_procs": r.num_procs,
+            "ok": r.ok,
+            "findings": [
+                {
+                    "rule": d.rule,
+                    "name": d.rule_info.name,
+                    "severity": d.severity.label,
+                    "message": d.message,
+                    "anchor": d.anchor,
+                    "proc": d.proc,
+                    "task": d.task,
+                    "obj": d.obj,
+                    "position": d.position,
+                    "cycle": list(d.cycle) if d.cycle else None,
+                    "witness": d.witness,
+                    "hint": d.hint,
+                }
+                for d in r.diagnostics
+            ],
+        })
+    return {"schema": JSON_SCHEMA, "runs": runs}
+
+
+def _logical_location(d) -> Optional[dict]:
+    loc = d.location()
+    if not loc:
+        return None
+    return {"logicalLocations": [{"name": loc, "kind": "element"}]}
+
+
+def to_sarif(reports: Iterable[AnalysisReport]) -> dict:
+    """Minimal SARIF 2.1.0 document for CI annotation."""
+    results = []
+    for r in reports:
+        for d in r.diagnostics:
+            res = {
+                "ruleId": d.rule,
+                "level": _SARIF_LEVEL[d.severity],
+                "message": {"text": f"{r.label}: {d.message}"},
+            }
+            loc = _logical_location(d)
+            if loc is not None:
+                res["locations"] = [loc]
+            if d.cycle:
+                res["properties"] = {"cycle": list(d.cycle)}
+            results.append(res)
+    driver = {
+        "name": "repro-analyze",
+        "informationUri": "https://example.invalid/repro",
+        "rules": [
+            {
+                "id": rule.code,
+                "name": rule.name,
+                "shortDescription": {"text": rule.summary},
+                "help": {"text": rule.hint},
+                "properties": {"anchor": rule.anchor},
+                "defaultConfiguration": {
+                    "level": _SARIF_LEVEL[rule.severity],
+                },
+            }
+            for rule in RULES.values()
+        ],
+    }
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": "2.1.0",
+        "runs": [{"tool": {"driver": driver}, "results": results}],
+    }

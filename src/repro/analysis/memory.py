@@ -1,0 +1,87 @@
+"""Memory pass: MEM_REQ / MIN_MEM executability (Definitions 5-6).
+
+Recomputes the capacity story of a schedule directly from the liveness
+profile and — when a plan exists — replays the plan's free/alloc chains
+arithmetically, without the simulator:
+
+``SA101``
+    ``MIN_MEM > capacity`` on some processor: no MAP plan exists
+    (Definition 6's non-executable case, the ``inf`` table entries).
+``SA102``
+    A hand-built plan whose running footprint exceeds the capacity at
+    some MAP.  Plans produced by :func:`repro.core.maps.plan_maps` are
+    within budget by construction; this catches edited or foreign plans.
+``SA103``
+    Informational: the capacity fits the data but leaves no headroom
+    for the distributed dependence structures the paper's conclusion
+    measures (18-50% of total memory).
+"""
+
+from __future__ import annotations
+
+from ..core.depmem import distributed_dependence_memory
+from .diagnostics import Diagnostic
+
+__all__ = ["memory_pass"]
+
+
+def memory_pass(ctx) -> list[Diagnostic]:
+    diags: list[Diagnostic] = []
+    profile = ctx.profile
+    capacity = ctx.capacity
+    g = ctx.schedule.graph
+
+    for pp in profile.procs:
+        if pp.min_mem > capacity:
+            peak = max(range(len(pp.mem_req)), key=pp.mem_req.__getitem__)
+            diags.append(Diagnostic.of(
+                "SA101",
+                f"MIN_MEM {pp.min_mem} exceeds capacity {capacity} "
+                f"(peak MEM_REQ at position {peak})",
+                proc=pp.proc,
+                position=peak,
+                task=ctx.schedule.orders[pp.proc][peak],
+            ))
+
+    if ctx.plan is not None:
+        size = g.object_size
+        for p, pts in enumerate(ctx.plan.points):
+            pp = profile.procs[p]
+            used = pp.perm_bytes
+            allocated: set[str] = set()
+            for k, mp in enumerate(pts):
+                for o in mp.frees:
+                    if o in allocated:
+                        allocated.discard(o)
+                        used -= size[o]
+                for o in mp.allocs:
+                    if o in allocated:
+                        continue  # double-alloc; the sanitizer flags it
+                    allocated.add(o)
+                    used += size[o]
+                    if used > capacity:
+                        diags.append(Diagnostic.of(
+                            "SA102",
+                            f"MAP {k} brings usage to {used} > capacity "
+                            f"{capacity} when allocating {o!r}",
+                            proc=p,
+                            position=mp.position,
+                            obj=o,
+                        ))
+
+    # Headroom advisory: the capacity was pinned to the MIN_MEM floor
+    # even though recycling left slack to give (TOT > MIN_MEM) — zero
+    # headroom for the runtime's own dependence records.
+    if (profile.procs and capacity == profile.min_mem
+            and profile.tot > profile.min_mem):
+        dep = distributed_dependence_memory(ctx.schedule)
+        q = max(range(len(dep.per_proc)), key=dep.per_proc.__getitem__)
+        share = dep.per_proc[q] / (dep.per_proc[q] + max(capacity, 1))
+        diags.append(Diagnostic.of(
+            "SA103",
+            f"capacity equals MIN_MEM {capacity}; distributed dependence "
+            f"records would add {dep.per_proc[q]} B on P{q} "
+            f"({share:.0%} of the total, cf. the paper's 18-50%)",
+            proc=q,
+        ))
+    return diags

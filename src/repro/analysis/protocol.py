@@ -1,0 +1,302 @@
+"""Protocol pass: the one-slot address-package channel and Theorem 1.
+
+Builds the *static wait-for graph* over processors from three sources
+and runs Tarjan's SCC (the :func:`repro.core.dcg.tarjan_scc` machinery
+the DCG slicer uses) to find deadlock cycles:
+
+1. **Order cycles** (``SA304``): the per-processor orders conflict with
+   the dependence DAG — the combined graph (dependence plus sequence
+   edges, exactly :func:`repro.core.schedule.gantt`'s graph) is cyclic,
+   so some task can never become ready.
+2. **Missing notifications** (``SA303``): an allocated volatile object
+   whose owner is never sent the address.  The owner's RMA put suspends
+   forever (it waits on the destination), and the destination's
+   consumer tasks wait on the owner's data.
+3. **Slot-overwrite hazards** (``SA302``): two consecutive address
+   packages from one processor to one destination with no consuming
+   task in between.  Under Definition 4's one-package-in-flight rule
+   a plan must *self-throttle*: some object of the earlier package has
+   its first use before the later MAP's position, which proves the
+   destination performed its RA (it deposited the data the consuming
+   task ran on) before the next SND.  Without such a witness task the
+   unbuffered slot can be overwritten, the earlier addresses are lost,
+   and the same two wait-for edges as case 2 appear.
+
+Every hazard contributes directed edges to the wait-for graph; a
+strongly connected component of two or more processors is reported as
+``SA301`` with a witness in the exact shape of
+:func:`repro.conformance.invariants.deadlock_witness` (``wait-for:``
+lines plus a ``cycle: P0 -> P1 -> P0`` line), so static and dynamic
+reports can be compared textually.
+"""
+
+from __future__ import annotations
+
+from ..core.dcg import tarjan_scc
+from .diagnostics import Diagnostic
+
+__all__ = ["protocol_pass"]
+
+
+def protocol_pass(ctx) -> list[Diagnostic]:
+    diags: list[Diagnostic] = []
+    #: directed wait-for edges: (waiter, holder) -> reasons.
+    edges: dict[tuple[int, int], list[str]] = {}
+
+    def wait(a: int, b: int, why: str) -> None:
+        if a != b:
+            edges.setdefault((a, b), []).append(why)
+
+    _order_cycles(ctx, diags, wait)
+    if ctx.plan is not None:
+        _package_hazards(ctx, diags, wait)
+    _deadlock_cycles(ctx, diags, edges)
+    return diags
+
+
+# ---------------------------------------------------------------------
+# 1) combined-graph acyclicity (Definition 1)
+# ---------------------------------------------------------------------
+
+def _order_cycles(ctx, diags, wait) -> None:
+    """Kahn over dependence + sequence edges; stuck tasks form cycles.
+
+    Runs on the graph's internal adjacency (in-degrees counted from the
+    successor map) so the hot loop touches plain dicts instead of
+    per-node graph accessors."""
+    g = ctx.schedule.graph
+    asg = ctx.schedule.assignment
+    prev_on_proc: dict[str, str] = {}
+    next_on_proc: dict[str, str] = {}
+    for order in ctx.schedule.orders:
+        for i, t in enumerate(order):
+            if i > 0:
+                prev_on_proc[t] = order[i - 1]
+                next_on_proc[order[i - 1]] = t
+    names = g.task_names
+    succ = g.successor_map()
+    pred = g.predecessor_map()
+    indeg = {n: len(pred[n]) for n in names}
+    for t, prev in prev_on_proc.items():
+        if t not in succ[prev]:
+            indeg[t] += 1
+
+    ready = [n for n in names if indeg[n] == 0]
+    done = 0
+    while ready:
+        u = ready.pop()
+        done += 1
+        for v in succ[u]:
+            indeg[v] -= 1
+            if indeg[v] == 0:
+                ready.append(v)
+        nxt = next_on_proc.get(u)
+        if nxt is not None and nxt not in succ[u]:
+            indeg[nxt] -= 1
+            if indeg[nxt] == 0:
+                ready.append(nxt)
+    if done == g.num_tasks:
+        return
+
+    stuck = sorted(n for n in g.task_names if indeg[n] > 0)
+    cycle = _task_cycle(g, set(stuck), next_on_proc)
+    shown = " -> ".join(cycle) if cycle else ", ".join(stuck[:5])
+    diags.append(Diagnostic.of(
+        "SA304",
+        f"{len(stuck)} task(s) can never become ready; cycle: {shown}",
+        task=stuck[0],
+        proc=asg.get(stuck[0]),
+    ))
+    if cycle:
+        # Each adjacency t_i -> t_{i+1} means t_{i+1} waits for t_i.
+        for a, b in zip(cycle, cycle[1:]):
+            wait(asg[b], asg[a], f"task {b!r} ordered after {a!r}")
+
+
+def _task_cycle(g, stuck: set, next_on_proc) -> list:
+    """A cycle inside the stuck subgraph of the combined graph, as
+    ``[t0, t1, ..., t0]``; DFS, mirrors ``find_cycle``."""
+
+    def succs(u):
+        out = [v for v in g.successors(u) if v in stuck]
+        nxt = next_on_proc.get(u)
+        if nxt is not None and nxt in stuck and nxt not in out:
+            out.append(nxt)
+        return out
+
+    grey: set = set()
+    black: set = set()
+    stack: list = []
+
+    def dfs(u) -> list:
+        grey.add(u)
+        stack.append(u)
+        for v in succs(u):
+            if v in grey:
+                return stack[stack.index(v):] + [v]
+            if v not in black:
+                found = dfs(v)
+                if found:
+                    return found
+        stack.pop()
+        grey.discard(u)
+        black.add(u)
+        return []
+
+    for t in sorted(stuck):
+        if t not in black:
+            found = dfs(t)
+            if found:
+                return found
+    return []
+
+
+# ---------------------------------------------------------------------
+# 2 + 3) address packages on the one-slot channel (Definitions 3-4)
+# ---------------------------------------------------------------------
+
+def _package_hazards(ctx, diags, wait) -> None:
+    plan = ctx.plan
+    owner_map = ctx.schedule.placement.owner
+    for p in range(ctx.schedule.num_procs):
+        pp = ctx.profile.procs[p]
+        pts = plan.points[p]
+
+        # One scan of the plan collects everything both checks need:
+        # first-allocation indices, per-destination notified sets and
+        # package sequences — all in deterministic plan order.
+        alloc_at: dict[str, int] = {}
+        notified: dict[int, set[str]] = {}
+        by_dest: dict[int, list] = {}
+        for k, mp in enumerate(pts):
+            for o in mp.allocs:
+                alloc_at.setdefault(o, k)
+            for dest, objs in mp.notifications.items():
+                if objs:
+                    notified.setdefault(dest, set()).update(objs)
+                    by_dest.setdefault(dest, []).append((mp, tuple(objs)))
+
+        # SA303: every allocated volatile must be notified to its owner.
+        for o in alloc_at:
+            owner = owner_map[o]
+            if owner == p:
+                continue
+            if o not in notified.get(owner, ()):
+                mp = pts[alloc_at[o]]
+                diags.append(Diagnostic.of(
+                    "SA303",
+                    f"{o!r} is allocated but its owner P{owner} is never "
+                    "notified of the address",
+                    proc=p, position=mp.position, obj=o,
+                ))
+                wait(owner, p,
+                     f"put of {o!r} suspended: address never notified")
+                wait(p, owner, f"data {o!r} never deposited")
+
+        # SA302: consecutive packages to one destination need a
+        # consuming task between them (the self-throttling witness).
+        for dest in sorted(by_dest):
+            pkgs = by_dest[dest]
+            for (mp_a, objs_a), (mp_b, _objs_b) in zip(pkgs, pkgs[1:]):
+                throttled = any(
+                    pp.first_use(o) is not None
+                    and pp.first_use(o) < mp_b.position
+                    for o in objs_a
+                )
+                if throttled:
+                    continue
+                lost = ", ".join(repr(o) for o in objs_a)
+                diags.append(Diagnostic.of(
+                    "SA302",
+                    f"package to P{dest} from the MAP at position "
+                    f"{mp_a.position} ({lost}) has no consuming task "
+                    f"before the next package at position "
+                    f"{mp_b.position}; the slot can be overwritten",
+                    proc=p, position=mp_b.position, obj=objs_a[0],
+                ))
+                for o in objs_a:
+                    wait(dest, p,
+                         f"put of {o!r} suspended: address package "
+                         "overwritten")
+                    wait(p, dest, f"data {o!r} never deposited")
+
+
+# ---------------------------------------------------------------------
+# SCC over the wait-for graph (Theorem 1)
+# ---------------------------------------------------------------------
+
+def _deadlock_cycles(ctx, diags, edges) -> None:
+    if not edges:
+        return
+    nodes: set[int] = set()
+    for a, b in edges:
+        nodes.update((a, b))
+    succ: dict[int, set[int]] = {n: set() for n in nodes}
+    for a, b in edges:
+        succ[a].add(b)
+    comp = tarjan_scc(succ)
+    members: dict[int, list[int]] = {}
+    for n, c in comp.items():
+        members.setdefault(c, []).append(n)
+    for c in sorted(members, key=lambda c: min(members[c])):
+        group = sorted(members[c])
+        if len(group) < 2:
+            continue
+        cycle = _proc_cycle(succ, group)
+        witness = _witness(edges, group, cycle)
+        rendered = " -> ".join(f"P{q}" for q in cycle)
+        diags.append(Diagnostic.of(
+            "SA301",
+            f"static wait-for cycle: {rendered}",
+            proc=cycle[0],
+            cycle=tuple(cycle),
+            witness=witness,
+        ))
+
+
+def _proc_cycle(succ, group: list[int]) -> list[int]:
+    """A cycle within one SCC, ``[p0, ..., p0]`` starting at the
+    smallest member."""
+    inside = set(group)
+    start = group[0]
+    stack = [start]
+    seen = {start}
+    while True:
+        u = stack[-1]
+        nxt = sorted(v for v in succ[u] if v in inside)
+        target = next((v for v in nxt if v == start), None)
+        if target is not None and len(stack) > 1:
+            return stack + [start]
+        advanced = False
+        for v in nxt:
+            if v not in seen:
+                seen.add(v)
+                stack.append(v)
+                advanced = True
+                break
+        if not advanced:
+            # All neighbours visited: close on the first repeat.
+            v = nxt[0]
+            return stack[stack.index(v):] + [v]
+
+
+def _witness(edges, group: list[int], cycle: list[int]) -> str:
+    """Witness report in :func:`deadlock_witness`'s shape."""
+    inside = set(group)
+    lines = [
+        "STATIC DEADLOCK: wait-for cycle over "
+        + ", ".join(f"P{q}" for q in group)
+    ]
+    for (a, b), reasons in sorted(edges.items()):
+        if a in inside and b in inside:
+            for why in reasons:
+                lines.append(f"  P{a}: waits for P{b} ({why})")
+    waits: dict[int, set[int]] = {}
+    for (a, b) in edges:
+        if a in inside and b in inside:
+            waits.setdefault(a, set()).add(b)
+    for q in sorted(waits):
+        deps = ", ".join(f"P{d}" for d in sorted(waits[q]))
+        lines.append(f"  wait-for: P{q} -> {{{deps}}}")
+    lines.append("  cycle: " + " -> ".join(f"P{q}" for q in cycle))
+    return "\n".join(lines)

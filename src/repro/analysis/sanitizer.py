@@ -1,0 +1,203 @@
+"""Liveness sanitizer pass: the MAP plan's free/alloc chains against the
+volatile life spans (Definitions 3-4).
+
+Two-tier check per processor.  The fast tier replays only the MAP
+points, collecting per-object *residency intervals* (task-position
+ranges during which the object is allocated), and verifies every
+volatile live span is covered — O(plan + volatile objects), independent
+of how many accesses each task makes, and exact for clean processors
+because accesses can only happen inside the span.  Only when a span has
+a residency gap does the slow tier walk the interleaving of MAPs and
+tasks (a MAP at position ``i`` acts immediately before task ``i``),
+tracking the allocated set exactly like the machine's
+:class:`~repro.machine.memory.ObjectAllocator` would, to anchor each
+finding at the first real access that misses its object:
+
+``SA201`` use-after-free, ``SA202`` double-free / free of a
+never-allocated object, ``SA203`` leaked volatile (dead but surviving a
+later MAP), ``SA204`` dead allocation (never accessed on the
+processor), ``SA205`` use without allocation, ``SA206`` double
+allocation.
+
+Plans from :func:`repro.core.maps.plan_maps` are clean by construction
+(the property tests assert it); the sanitizer exists for hand-built and
+mutated plans, and as the static shadow of the dynamic
+``input-residency`` / ``landing-space`` invariants.
+"""
+
+from __future__ import annotations
+
+from .diagnostics import Diagnostic
+
+__all__ = ["sanitizer_pass"]
+
+
+def sanitizer_pass(ctx) -> list[Diagnostic]:
+    if ctx.plan is None:
+        return []
+    diags: list[Diagnostic] = []
+    for p, order in enumerate(ctx.schedule.orders):
+        span = ctx.profile.procs[p].span
+        found, covered = _replay_proc(ctx, p, order, span)
+        if covered:
+            diags.extend(found)
+        else:
+            diags.extend(_walk_proc(ctx, p, order, span))
+    return diags
+
+
+def _replay_proc(ctx, p: int, order, span) -> tuple[list[Diagnostic], bool]:
+    """Fast tier: MAP-only replay plus span-coverage check.
+
+    Returns ``(diagnostics, covered)``; the diagnostics are only valid
+    when ``covered`` is True (every live span sits inside its object's
+    residency intervals, so no access can miss its object and the
+    MAP-chain findings are the complete story).
+    """
+    diags: list[Diagnostic] = []
+    n = len(order)
+    allocated: dict[str, int] = {}  # object -> current interval start
+    ever_allocated: dict[str, None] = {}  # insertion = plan order
+    intervals: dict[str, list[tuple[int, int]]] = {}
+    last_map_pos = -1
+    pts = ctx.plan.points[p]
+    if any(a.position > b.position for a, b in zip(pts, pts[1:])):
+        pts = sorted(pts, key=lambda m: m.position)
+    for mp in pts:
+        pos = min(mp.position, n)
+        if mp.position > last_map_pos:
+            last_map_pos = mp.position
+        for o in mp.frees:
+            start = allocated.pop(o, None)
+            if start is None:
+                why = ("already freed" if o in intervals
+                       else "never allocated")
+                diags.append(Diagnostic.of(
+                    "SA202",
+                    f"MAP frees {o!r} which is {why}",
+                    proc=p, position=mp.position, obj=o,
+                ))
+                continue
+            intervals.setdefault(o, []).append((start, pos))
+        for o in mp.allocs:
+            if o in allocated:
+                diags.append(Diagnostic.of(
+                    "SA206",
+                    f"MAP allocates {o!r} which is already allocated",
+                    proc=p, position=mp.position, obj=o,
+                ))
+                continue
+            allocated[o] = pos
+            ever_allocated[o] = None
+    for o, start in allocated.items():
+        intervals.setdefault(o, []).append((start, n + 1))
+
+    for o, (first, last) in span.items():
+        q = first
+        for start, end in intervals.get(o, ()):
+            if end <= q:
+                continue
+            if start > q:
+                break  # residency gap at position q
+            q = end
+            if q > last:
+                break
+        if q <= last:
+            return diags, False
+
+    for o in ever_allocated:
+        if o not in span:
+            diags.append(Diagnostic.of(
+                "SA204",
+                f"{o!r} is allocated but no task on P{p} accesses it",
+                proc=p, obj=o,
+            ))
+        elif o in allocated and span[o][1] < last_map_pos:
+            diags.append(Diagnostic.of(
+                "SA203",
+                f"{o!r} died at position {span[o][1]} but survived "
+                f"the MAP at position {last_map_pos} unfreed",
+                proc=p, position=span[o][1], obj=o,
+            ))
+    return diags, True
+
+
+def _walk_proc(ctx, p: int, order, span) -> list[Diagnostic]:
+    """Slow tier: the exact MAP/task interleaving, anchoring ``SA201``
+    and ``SA205`` at the first access that misses its object."""
+    diags: list[Diagnostic] = []
+    g = ctx.schedule.graph
+    n = len(order)
+    maps_at: dict[int, list] = {}
+    for mp in ctx.plan.points[p]:
+        maps_at.setdefault(min(mp.position, n), []).append(mp)
+
+    allocated: set[str] = set()
+    freed: set[str] = set()
+    ever_allocated: set[str] = set()
+    last_map_pos = -1
+    for i in range(n + 1):
+        for mp in maps_at.get(i, ()):
+            last_map_pos = max(last_map_pos, mp.position)
+            for o in mp.frees:
+                if o not in allocated:
+                    why = ("already freed" if o in freed
+                           else "never allocated")
+                    diags.append(Diagnostic.of(
+                        "SA202",
+                        f"MAP frees {o!r} which is {why}",
+                        proc=p, position=mp.position, obj=o,
+                    ))
+                    continue
+                allocated.discard(o)
+                freed.add(o)
+            for o in mp.allocs:
+                if o in allocated:
+                    diags.append(Diagnostic.of(
+                        "SA206",
+                        f"MAP allocates {o!r} which is already "
+                        "allocated",
+                        proc=p, position=mp.position, obj=o,
+                    ))
+                    continue
+                allocated.add(o)
+                ever_allocated.add(o)
+        if i == n:
+            break
+        task = order[i]
+        for o in g.task(task).accesses:
+            if o not in span or o in allocated:
+                continue  # permanent, or properly allocated
+            if o in freed:
+                diags.append(Diagnostic.of(
+                    "SA201",
+                    f"{task} accesses {o!r} after a MAP freed it "
+                    f"(live span {span[o][0]}..{span[o][1]})",
+                    proc=p, position=i, task=task, obj=o,
+                ))
+            else:
+                diags.append(Diagnostic.of(
+                    "SA205",
+                    f"{task} accesses volatile {o!r} but no MAP "
+                    "allocated it",
+                    proc=p, position=i, task=task, obj=o,
+                ))
+            # Flag each missing object once, at its first use.
+            allocated.add(o)
+            ever_allocated.add(o)
+
+    for o in sorted(ever_allocated):
+        if o not in span:
+            diags.append(Diagnostic.of(
+                "SA204",
+                f"{o!r} is allocated but no task on P{p} accesses it",
+                proc=p, obj=o,
+            ))
+        elif o in allocated and span[o][1] < last_map_pos:
+            diags.append(Diagnostic.of(
+                "SA203",
+                f"{o!r} died at position {span[o][1]} but survived "
+                f"the MAP at position {last_map_pos} unfreed",
+                proc=p, position=span[o][1], obj=o,
+            ))
+    return diags

@@ -140,8 +140,6 @@ def build_cg(
 
     # --- kernels -------------------------------------------------------
     def k_spmv(i, deps):
-        s, e = bounds(i)
-
         def kernel(store):
             blk = store[f"A[{i}]"]
             pfull = np.zeros(n)

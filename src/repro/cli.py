@@ -15,6 +15,8 @@ Usage::
         --report report.html           # one instrumented run, exported
     python -m repro check --seed 7     # conformance batch: invariants + oracle
     python -m repro check --fault overwrite --trace-out fail.json
+    python -m repro analyze --seed 7   # static sanitizer, no simulation
+    python -m repro analyze --fault overwrite --format sarif --out out.sarif
 """
 
 from __future__ import annotations
@@ -105,36 +107,47 @@ def _render_example_svgs(out_dir: str) -> list[str]:
     return written
 
 
-def _run_trace(args) -> int:
-    """One instrumented simulation; export metrics / Chrome trace / report."""
+def _resolve_workload(args):
+    """Resolve ``--workload/--procs/--heuristic/--fraction`` into
+    ``(spec, compiled, capacity, profile)``.
+
+    The single place the CLI turns workload flags into a compiled
+    schedule — shared by ``trace`` and ``analyze`` (and, through
+    :func:`repro.conformance.check.batch_cases`, consistent with the
+    batch the ``check`` command builds).
+    """
     import math
 
-    from .machine.simulator import Simulator
-    from .obs import html_report, to_json, write_chrome_trace
+    from .machine.simulator import CompiledSchedule
 
     if args.workload == "paper":
         from .graph.paper_example import schedule_c
         from .machine.spec import UNIT_MACHINE
 
-        sim = Simulator(schedule_c(), spec=UNIT_MACHINE, capacity=8, metrics=True)
-    else:
-        ctx = ExperimentContext()
-        p = args.procs[0] if args.procs else 4
-        prof = ctx.profile(args.workload, p, args.heuristic)
-        capacity = int(math.floor(prof.tot * args.fraction))
-        if prof.min_mem > capacity:
-            print(
-                f"not executable: MIN_MEM {prof.min_mem} > capacity {capacity} "
-                f"({args.fraction:.0%} of TOT {prof.tot})",
-                file=sys.stderr,
-            )
-            return 2
-        sim = Simulator(
-            spec=ctx.spec,
-            capacity=capacity,
-            compiled=ctx.compiled(args.workload, p, args.heuristic),
-            metrics=True,
+        compiled = CompiledSchedule(schedule_c())
+        return UNIT_MACHINE, compiled, 8, compiled.profile
+    ctx = ExperimentContext()
+    p = args.procs[0] if args.procs else 4
+    prof = ctx.profile(args.workload, p, args.heuristic)
+    capacity = int(math.floor(prof.tot * args.fraction))
+    compiled = ctx.compiled(args.workload, p, args.heuristic)
+    return ctx.spec, compiled, capacity, prof
+
+
+def _run_trace(args) -> int:
+    """One instrumented simulation; export metrics / Chrome trace / report."""
+    from .machine.simulator import Simulator
+    from .obs import html_report, to_json, write_chrome_trace
+
+    spec, compiled, capacity, prof = _resolve_workload(args)
+    if prof.min_mem > capacity:
+        print(
+            f"not executable: MIN_MEM {prof.min_mem} > capacity {capacity} "
+            f"({args.fraction:.0%} of TOT {prof.tot})",
+            file=sys.stderr,
         )
+        return 2
+    sim = Simulator(spec=spec, capacity=capacity, compiled=compiled, metrics=True)
     res = sim.run()
     s = res.metrics["summary"]
     print(
@@ -203,6 +216,73 @@ def _run_check_cmd(args) -> int:
         )
         print(f"wrote {args.trace_out} (open at ui.perfetto.dev)")
     return 0 if bad == 0 else 1
+
+
+def _run_analyze(args) -> int:
+    """Static schedule sanitizer: the same cases as ``check``, analyzed
+    in O(plan) with no simulation.
+
+    Exit status is 0 iff no error-severity finding — so
+    ``repro analyze --fault overwrite`` exits non-zero by design (the
+    buggy-planner demo must be flagged with its SA3xx cycle witness).
+    """
+    import json
+
+    from .analysis import (
+        analyze_batch,
+        analyze_overwrite_demo,
+        analyze_schedule,
+        render_text,
+        to_json,
+        to_sarif,
+    )
+
+    if args.workload != "paper":
+        _spec, compiled, capacity, prof = _resolve_workload(args)
+        reports = [analyze_schedule(
+            compiled.schedule,
+            capacity=max(capacity, 1),
+            profile=prof,
+            label=f"{args.workload}/{args.heuristic}",
+        )]
+    else:
+        faults = None
+        if args.fault:
+            from .conformance import fault_preset
+
+            faults = fault_preset(args.fault, seed=args.seed)
+        reports = analyze_batch(
+            args.seed,
+            graphs=args.graphs,
+            procs=args.procs[0] if args.procs else 3,
+            fraction=args.fraction,
+            faults=faults,
+        )
+        if args.fault == "overwrite":
+            # Same extra case as `check --fault overwrite`: organic
+            # plans are self-throttling, the demo plan is not.
+            reports.append(analyze_overwrite_demo())
+
+    if args.format == "json":
+        doc = json.dumps(to_json(reports), indent=2, sort_keys=True)
+    elif args.format == "sarif":
+        doc = json.dumps(to_sarif(reports), indent=2, sort_keys=True)
+    else:
+        doc = render_text(reports)
+    out = args.out if args.out not in (None, ".") else None
+    if out is not None:
+        import pathlib
+
+        target = pathlib.Path(out)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(doc + "\n")
+        print(f"wrote {target}")
+    else:
+        print(doc)
+    clean = sum(1 for r in reports if r.ok)
+    if args.format == "text" or out is not None:
+        print(f"{clean}/{len(reports)} plans statically clean")
+    return 0 if clean == len(reports) else 1
 
 
 def run_experiment(name: str, ctx: ExperimentContext, args) -> str:
@@ -281,20 +361,31 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--fault", default=None,
                         choices=("delay", "jitter", "consume", "slow",
                                  "tighten", "overwrite"),
-                        help="check: fault-injection preset to apply "
-                             "(see docs/conformance.md)")
+                        help="check/analyze: fault-injection preset to apply "
+                             "(see docs/conformance.md; analyze uses only "
+                             "its capacity knob plus the overwrite demo)")
+    parser.add_argument("--format", default="text",
+                        choices=("text", "json", "sarif"),
+                        help="analyze: output format (sarif/json for CI "
+                             "annotation; see docs/analysis.md)")
+    parser.add_argument("--analyze", action="store_true",
+                        help="sweep: statically analyze every cell and add "
+                             "an 'analysis_errors' column")
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
         print("\n".join(
             EXPERIMENTS
-            + ("example", "svg", "sweep", "trace", "check", "validate")
+            + ("example", "svg", "sweep", "trace", "check", "analyze",
+               "validate")
         ))
         return 0
     if args.experiment == "trace":
         return _run_trace(args)
     if args.experiment == "check":
         return _run_check_cmd(args)
+    if args.experiment == "analyze":
+        return _run_analyze(args)
     if args.experiment == "example":
         print(_paper_example_walkthrough())
         return 0
@@ -320,6 +411,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             jobs=args.jobs,
             metrics=args.metrics is not None,
             check=args.check,
+            analyze=args.analyze,
         )
         out = pathlib.Path(args.out)
         target = out / "sweep.csv" if out.is_dir() or not out.suffix else out

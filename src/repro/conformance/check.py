@@ -10,7 +10,6 @@ ordering heuristics — the engine behind ``repro check``.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
@@ -28,7 +27,13 @@ from .faults import FaultSpec
 from .invariants import InvariantChecker, Violation, deadlock_witness
 from .oracle import OracleReport, differential_check
 
-__all__ = ["CheckReport", "check_batch", "overwrite_demo", "run_check"]
+__all__ = [
+    "CheckReport",
+    "batch_cases",
+    "check_batch",
+    "overwrite_demo",
+    "run_check",
+]
 
 _ORDERINGS = {"rcp": rcp_order, "mpo": mpo_order, "dts": dts_order}
 
@@ -78,12 +83,15 @@ class CheckReport:
 
 
 def _pick_capacity(profile, fraction: Optional[float]) -> int:
-    """Capacity between MIN_MEM (0.0) and TOT (1.0); ``None`` = TOT."""
-    if fraction is None:
-        return max(profile.tot, 1)
-    fraction = min(max(fraction, 0.0), 1.0)
-    cap = profile.min_mem + fraction * (profile.tot - profile.min_mem)
-    return max(int(math.floor(cap)), profile.min_mem, 1)
+    """Capacity between MIN_MEM (0.0) and TOT (1.0); ``None`` = TOT.
+
+    Canonical implementation lives in :mod:`repro.analysis.engine` so
+    the static analyzer and the checked runs resolve identical
+    capacities for a given fraction (imported lazily: conformance must
+    stay importable before the analysis package)."""
+    from ..analysis.engine import pick_capacity
+
+    return pick_capacity(profile, fraction)
 
 
 def run_check(
@@ -214,6 +222,40 @@ def overwrite_demo(seed: int = 0) -> CheckReport:
     )
 
 
+def batch_cases(
+    seed: int,
+    *,
+    graphs: int = 10,
+    procs: int = 3,
+    tasks: int = 30,
+    objects: int = 6,
+    include_paper: bool = True,
+) -> list[tuple[str, object, object, object]]:
+    """The canonical ``(name, graph, placement, assignment)`` batch:
+    the paper's worked example plus ``graphs`` seeded random DAGs.
+
+    Single source of the case construction shared by ``repro check``
+    (dynamic) and ``repro analyze`` (static), so both commands judge
+    exactly the same schedules for a given seed.
+    """
+    cases: list[tuple[str, object, object, object]] = []
+    if include_paper:
+        from ..graph.paper_example import (
+            paper_assignment,
+            paper_example_graph,
+            paper_placement,
+        )
+
+        g = paper_example_graph()
+        pl = paper_placement()
+        cases.append(("paper", g, pl, paper_assignment(g, pl)))
+    for i in range(graphs):
+        g = generators.random_trace(tasks, objects, seed=seed + i)
+        pl = cyclic_placement(g, procs)
+        cases.append((f"dag{seed + i}", g, pl, owner_compute_assignment(g, pl)))
+    return cases
+
+
 def check_batch(
     seed: int,
     *,
@@ -232,24 +274,11 @@ def check_batch(
     Every graph is scheduled with each heuristic; seeds are
     ``seed .. seed + graphs - 1`` so a batch is fully reproducible.
     """
-    cases: list[tuple[str, object, object, object]] = []
-    if include_paper:
-        from ..graph.paper_example import (
-            paper_assignment,
-            paper_example_graph,
-            paper_placement,
-        )
-
-        g = paper_example_graph()
-        pl = paper_placement()
-        cases.append(("paper", g, pl, paper_assignment(g, pl)))
-    for i in range(graphs):
-        g = generators.random_trace(tasks, objects, seed=seed + i)
-        pl = cyclic_placement(g, procs)
-        cases.append((f"dag{seed + i}", g, pl, owner_compute_assignment(g, pl)))
-
     reports: list[CheckReport] = []
-    for name, g, pl, asg in cases:
+    for name, g, pl, asg in batch_cases(
+        seed, graphs=graphs, procs=procs, tasks=tasks, objects=objects,
+        include_paper=include_paper,
+    ):
         for h in heuristics:
             sched = _ORDERINGS[h](g, pl, asg)
             reports.append(

@@ -95,6 +95,14 @@ class Violation:
     invariant: str
     detail: str
 
+    @property
+    def rule(self) -> str:
+        """Static rule code proving the same property (shared registry
+        with :mod:`repro.analysis.diagnostics`)."""
+        from ..analysis.diagnostics import INVARIANT_RULES
+
+        return INVARIANT_RULES[self.invariant]
+
     def __str__(self) -> str:
         anchor, _stmt = INVARIANTS[self.invariant]
         return (

@@ -118,7 +118,7 @@ def build_dcg(graph: TaskGraph) -> DCG:
     for n in sorted(nodes):
         succ.setdefault(n, set())
 
-    comp = _tarjan_scc(succ)
+    comp = tarjan_scc(succ)
     # Condensation + topological order of components.
     ncomp = max(comp.values(), default=-1) + 1
     cond_succ: list[set[int]] = [set() for _ in range(ncomp)]
@@ -186,9 +186,14 @@ def build_dcg(graph: TaskGraph) -> DCG:
     return dcg
 
 
-def _tarjan_scc(succ: Mapping[str, set[str]]) -> dict[str, int]:
+def tarjan_scc(succ: Mapping[str, set[str]]) -> dict[str, int]:
     """Iterative Tarjan SCC; returns node -> component id (ids are in
-    *reverse* topological order of discovery, remapped by the caller)."""
+    *reverse* topological order of discovery, remapped by the caller).
+
+    Shared SCC machinery: the DCG slicer condenses object graphs with
+    it, and the static protocol analyzer runs it over processor
+    wait-for graphs to extract deadlock cycles (Theorem 1).  Nodes only
+    need to be sortable (strings or ints)."""
     index: dict[str, int] = {}
     low: dict[str, int] = {}
     on_stack: set[str] = set()

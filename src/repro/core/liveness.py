@@ -24,6 +24,8 @@ processor's order, O(total accesses).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
+
 from ..errors import NonExecutableScheduleError
 from .placement import perm_vola_sets
 from .schedule import Schedule
@@ -54,6 +56,18 @@ class ProcessorMemoryProfile:
     def tot(self) -> int:
         """Space with no recycling: permanent + all volatile objects."""
         return self.perm_bytes + self.vola_bytes
+
+    def first_use(self, obj: str) -> Optional[int]:
+        """Position of the first access to a volatile object on this
+        processor, or ``None`` when it is never accessed here."""
+        s = self.span.get(obj)
+        return s[0] if s is not None else None
+
+    def last_use(self, obj: str) -> Optional[int]:
+        """Position of the last access to a volatile object on this
+        processor, or ``None`` when it is never accessed here."""
+        s = self.span.get(obj)
+        return s[1] if s is not None else None
 
 
 @dataclass

@@ -52,14 +52,9 @@ class MapPoint:
     #: Owner processor -> volatile objects whose fresh addresses must be
     #: notified to it (it will RMA-put their contents here).
     notifications: dict[int, list[str]] = field(default_factory=dict)
-
-    @property
-    def covers_through(self) -> Optional[int]:
-        """Last task position whose volatiles this MAP allocated
-        (filled in by the planner)."""
-        return self._covers_through
-
-    _covers_through: Optional[int] = None
+    #: Last task position whose volatiles this MAP allocated (filled in
+    #: by the planner; ``None`` on hand-built points).
+    covers_through: Optional[int] = None
 
 
 @dataclass
@@ -98,6 +93,28 @@ class MapPlan:
 
     def map_positions(self, proc: int) -> list[int]:
         return [m.position for m in self.points[proc]]
+
+    def allocation_points(self, proc: int) -> dict[str, int]:
+        """Object -> index (into ``points[proc]``) of the MAP that first
+        allocates it.  Static-analysis metadata; O(plan)."""
+        where: dict[str, int] = {}
+        for k, mp in enumerate(self.points[proc]):
+            for o in mp.allocs:
+                where.setdefault(o, k)
+        return where
+
+    def packages(self, proc: int) -> list[tuple[int, int, tuple[str, ...]]]:
+        """Address packages sent by ``proc``'s MAPs, in plan order:
+        ``(map_index, owner_proc, objects)`` triples.  Each package
+        occupies the owner's one-slot unbuffered channel from this
+        processor until the owner performs its RA (section 3.3)."""
+        out: list[tuple[int, int, tuple[str, ...]]] = []
+        for k, mp in enumerate(self.points[proc]):
+            for owner in sorted(mp.notifications):
+                objs = tuple(mp.notifications[owner])
+                if objs:
+                    out.append((k, owner, objs))
+        return out
 
     def predicted_peaks(self) -> list[int]:
         """Statically predicted per-processor peak memory of *executing*
@@ -196,7 +213,7 @@ def plan_maps(
                 # Even the next task does not fit — contradicts the
                 # MIN_MEM check above; defensive.
                 raise NonExecutableScheduleError(p, pp.mem_req[i], capacity)
-            mp._covers_through = j - 1
+            mp.covers_through = j - 1
             proc_points.append(mp)
             i = j
         points.append(proc_points)

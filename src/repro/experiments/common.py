@@ -68,6 +68,11 @@ class CellMetrics:
     #: unless measured with ``collect_check=True`` (``inf`` when
     #: non-executable, matching the timing fields).
     violations: Optional[float] = None
+    #: Error-severity findings of the static analyzer; ``None`` unless
+    #: measured with ``collect_analysis=True``.  Unlike the dynamic
+    #: fields, non-executable cells get a real count (at least the SA101
+    #: finding) — the analyzer needs no simulation.
+    analysis_errors: Optional[float] = None
 
     @property
     def pt_increase_pct(self) -> float:
@@ -86,6 +91,7 @@ class ExperimentContext:
         self._compiled: dict[tuple, CompiledSchedule] = {}
         self._baseline_pt: dict[tuple, float] = {}
         self._sims: dict[tuple, tuple[SimResult, Optional[int]]] = {}
+        self._analysis: dict[tuple, float] = {}
 
     # -- workloads -------------------------------------------------------
 
@@ -178,6 +184,33 @@ class ExperimentContext:
 
     # -- measurements -------------------------------------------------------
 
+    def analysis_errors(
+        self, key: str, p: int, heuristic: str, capacity: int,
+        cap_arg: Optional[int] = None,
+    ) -> float:
+        """Error-severity findings of the static analyzer for one cell
+        (cached; O(plan), no simulation)."""
+        ak = (key, p, heuristic, cap_arg, capacity)
+        if ak not in self._analysis:
+            from ..analysis import analyze_schedule
+
+            prof = self.profile(key, p, heuristic, cap_arg)
+            # Share the compiled schedule's memoised plan (what the
+            # simulator executes); non-executable cells have no plan
+            # and are reported via SA101.
+            plan = (
+                self.compiled(key, p, heuristic, cap_arg).plan_for(capacity)
+                if prof.executable_under(capacity) else None
+            )
+            report = analyze_schedule(
+                self.schedule(key, p, heuristic, cap_arg),
+                capacity=capacity,
+                profile=prof,
+                plan=plan,
+            )
+            self._analysis[ak] = float(len(report.errors))
+        return self._analysis[ak]
+
     def run_cell(
         self,
         key: str,
@@ -188,6 +221,7 @@ class ExperimentContext:
         merge_capacity: bool = False,
         collect_metrics: bool = False,
         collect_check: bool = False,
+        collect_analysis: bool = False,
     ) -> CellMetrics:
         """Measure one table cell.
 
@@ -199,7 +233,9 @@ class ExperimentContext:
         (:mod:`repro.obs`) and the telemetry fields of
         :class:`CellMetrics` are populated; with ``collect_check=True``
         a :class:`~repro.conformance.InvariantChecker` rides along and
-        fills the ``violations`` field.  Results of the different modes
+        fills the ``violations`` field; with ``collect_analysis=True``
+        the static analyzer judges the cell's plan (no extra simulation)
+        and fills ``analysis_errors``.  Results of the different modes
         are cached separately so mixing them never reuses the wrong run.
         """
         tot = (
@@ -218,6 +254,10 @@ class ExperimentContext:
                 max_hwm=INF if collect_metrics else None,
                 max_suspq=INF if collect_metrics else None,
                 violations=INF if collect_check else None,
+                analysis_errors=(
+                    self.analysis_errors(key, p, heuristic, capacity, cap_arg)
+                    if collect_analysis else None
+                ),
             )
         sk = (key, p, heuristic, cap_arg, capacity, collect_metrics, collect_check)
         if sk not in self._sims:
@@ -251,6 +291,10 @@ class ExperimentContext:
             max_hwm=float(summary["max_hwm"]) if summary else None,
             max_suspq=float(summary["max_suspq"]) if summary else None,
             violations=float(nviol) if nviol is not None else None,
+            analysis_errors=(
+                self.analysis_errors(key, p, heuristic, capacity, cap_arg)
+                if collect_analysis else None
+            ),
         )
 
 

@@ -56,6 +56,10 @@ METRIC_FIELDS = (
 #: unchanged).
 CHECK_FIELDS = ("violations",)
 
+#: Static-analysis column appended when the sweep ran with
+#: ``analyze=True`` (opt-in, same contract).
+ANALYZE_FIELDS = ("analysis_errors",)
+
 
 @dataclass(frozen=True)
 class SweepRecord:
@@ -76,6 +80,8 @@ class SweepRecord:
     max_suspq: Optional[float] = None
     #: populated only by ``full_sweep(..., check=True)``
     violations: Optional[float] = None
+    #: populated only by ``full_sweep(..., analyze=True)``
+    analysis_errors: Optional[float] = None
 
 
 def _run_group(
@@ -87,6 +93,7 @@ def _run_group(
     reference: str,
     metrics: bool = False,
     check: bool = False,
+    analyze: bool = False,
 ) -> list[SweepRecord]:
     """All records of one (workload, procs) group, in grid order."""
     out: list[SweepRecord] = []
@@ -94,7 +101,7 @@ def _run_group(
         for f in fractions:
             cell = ctx.run_cell(
                 key, p, h, f, reference=reference, collect_metrics=metrics,
-                collect_check=check,
+                collect_check=check, collect_analysis=analyze,
             )
             out.append(
                 SweepRecord(
@@ -113,6 +120,7 @@ def _run_group(
                     max_hwm=cell.max_hwm,
                     max_suspq=cell.max_suspq,
                     violations=cell.violations,
+                    analysis_errors=cell.analysis_errors,
                 )
             )
     return out
@@ -131,10 +139,11 @@ def _worker_init(spec, registered) -> None:
 
 
 def _worker_run_group(args) -> list[SweepRecord]:
-    key, p, heuristics, fractions, reference, metrics, check = args
+    key, p, heuristics, fractions, reference, metrics, check, analyze = args
     assert _WORKER_CTX is not None
     return _run_group(
-        _WORKER_CTX, key, p, heuristics, fractions, reference, metrics, check
+        _WORKER_CTX, key, p, heuristics, fractions, reference, metrics, check,
+        analyze,
     )
 
 
@@ -148,6 +157,7 @@ def full_sweep(
     jobs: Optional[int] = 1,
     metrics: bool = False,
     check: bool = False,
+    analyze: bool = False,
 ) -> list[SweepRecord]:
     """Run the full grid; non-executable cells get ``inf`` metrics.
 
@@ -168,6 +178,12 @@ def full_sweep(
     :class:`~repro.conformance.InvariantChecker` to every cell's
     simulation and fills the ``violations`` column (0 everywhere when
     Theorem 1 holds; non-executable cells get ``inf``).
+
+    ``analyze=True`` statically analyzes every cell's plan
+    (:func:`repro.analysis.analyze_schedule` — no extra simulation) and
+    fills the ``analysis_errors`` column with the count of
+    error-severity findings; planner output is clean by construction,
+    and non-executable cells count their ``SA101``.
     """
     if not jobs or jobs < 0:
         jobs = os.cpu_count() or 1
@@ -177,12 +193,14 @@ def full_sweep(
         for key, p in groups:
             out.extend(
                 _run_group(
-                    ctx, key, p, heuristics, fractions, reference, metrics, check
+                    ctx, key, p, heuristics, fractions, reference, metrics,
+                    check, analyze,
                 )
             )
         return out
     tasks = [
-        (key, p, tuple(heuristics), tuple(fractions), reference, metrics, check)
+        (key, p, tuple(heuristics), tuple(fractions), reference, metrics,
+         check, analyze)
         for key, p in groups
     ]
     with ProcessPoolExecutor(
@@ -207,6 +225,8 @@ def to_csv(records: Iterable[SweepRecord], path: Optional[str] = None) -> str:
     fields = FIELDS + METRIC_FIELDS if with_metrics else FIELDS
     if any(r.violations is not None for r in records):
         fields = fields + CHECK_FIELDS
+    if any(r.analysis_errors is not None for r in records):
+        fields = fields + ANALYZE_FIELDS
     buf = io.StringIO()
     writer = csv.DictWriter(buf, fieldnames=fields, extrasaction="ignore")
     writer.writeheader()
@@ -254,6 +274,7 @@ def from_csv(text: str) -> list[SweepRecord]:
                 max_hwm=opt("max_hwm"),
                 max_suspq=opt("max_suspq"),
                 violations=opt("violations"),
+                analysis_errors=opt("analysis_errors"),
             )
         )
     return out

@@ -50,6 +50,7 @@ class TaskGraph:
         self.object_names: list[str] = []
         self.task_index: dict[str, int] = {}
         self.object_index: dict[str, int] = {}
+        self.object_size: dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # construction
@@ -123,6 +124,7 @@ class TaskGraph:
         self.object_names = sorted(self._objects)
         self.task_index = {n: i for i, n in enumerate(self.task_names)}
         self.object_index = {n: i for i, n in enumerate(self.object_names)}
+        self.object_size = {n: o.size for n, o in self._objects.items()}
         self._topo_cache = self._toposort()  # raises CycleError on cycles
         self._frozen = True
         return self
@@ -196,6 +198,17 @@ class TaskGraph:
 
     def successors(self, name: str) -> Iterable[str]:
         return self._succ[name].keys()
+
+    def successor_map(self) -> dict[str, dict[str, set[str]]]:
+        """The internal ``u -> {v -> objects}`` adjacency, for analyses
+        that sweep the whole graph without per-node accessor calls.
+        Treat as read-only."""
+        return self._succ
+
+    def predecessor_map(self) -> dict[str, dict[str, set[str]]]:
+        """The internal ``v -> {u -> objects}`` reverse adjacency.
+        Treat as read-only."""
+        return self._pred
 
     def predecessors(self, name: str) -> Iterable[str]:
         return self._pred[name].keys()

@@ -527,7 +527,7 @@ class Simulator:
     # ------------------------------------------------------------------
 
     def run(self) -> SimResult:
-        g, sched, spec = self.g, self.schedule, self.spec
+        sched, spec = self.schedule, self.spec
         cs = self.compiled
         nprocs = self.p
         # Hot-loop locals (closure lookups beat attribute lookups).

@@ -1,0 +1,63 @@
+"""Unit tests for the repo-specific AST lint (tools/lint_rules.py)."""
+
+import ast
+import importlib.util
+import pathlib
+
+_TOOLS = pathlib.Path(__file__).resolve().parents[2] / "tools"
+_spec = importlib.util.spec_from_file_location(
+    "lint_rules", _TOOLS / "lint_rules.py"
+)
+lint_rules = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(lint_rules)
+
+
+def private(src: str):
+    return lint_rules.check_private_mutation(ast.parse(src), "x.py")
+
+
+def wallclock(src: str):
+    return lint_rules.check_wallclock_in_core(ast.parse(src), "x.py")
+
+
+class TestPrivateMutation:
+    def test_flags_foreign_private_write(self):
+        assert private("sim._clock = 5\n")
+        assert private("sim._clock += 1\n")
+        assert private("del sim._clock\n")
+
+    def test_flags_tuple_unpacking_target(self):
+        (finding,) = private("a.x, sim._y = 1, 2\n")
+        assert "_y" in finding[1]
+
+    def test_self_cls_and_dunders_are_fine(self):
+        assert not private("self._clock = 5\n")
+        assert not private("cls._registry = {}\n")
+        assert not private("fn.__name__ = 'f'\n")
+
+    def test_public_attributes_are_fine(self):
+        assert not private("sim.clock = 5\n")
+
+
+class TestWallclockInCore:
+    def test_flags_time_and_random_imports(self):
+        assert wallclock("import time\n")
+        assert wallclock("from time import monotonic\n")
+        assert wallclock("import random\n")
+        assert wallclock("from random import Random\n")
+
+    def test_flags_numpy_random(self):
+        assert wallclock("import numpy as np\nx = np.random.rand()\n")
+
+    def test_deterministic_core_code_is_fine(self):
+        assert not wallclock("import math\nimport numpy as np\n"
+                             "x = np.arange(3)\n")
+
+
+class TestLintFile:
+    def test_machine_package_may_mutate_private_state(self):
+        path = lint_rules.REPO / "src/repro/machine/simulator.py"
+        assert lint_rules.lint_file(path) == []
+
+    def test_whole_repo_is_clean(self):
+        assert lint_rules.main([]) == 0

@@ -1,0 +1,167 @@
+#!/usr/bin/env python3
+"""Repo-specific AST lint rules (run in CI next to ruff).
+
+Two invariants of this codebase that generic linters cannot express:
+
+``private-mutation``
+    Outside ``src/repro/machine/``, no code may assign to, aug-assign
+    to, or delete a private attribute (leading ``_``) of any object
+    other than ``self``/``cls``.  The simulator's run-state is mutated
+    only inside the machine package; observers use Instrument hooks and
+    static checks use the ``repro.analysis`` IR passes instead of
+    poking ``Simulator`` internals.
+
+``wallclock-in-core``
+    ``src/repro/core/`` holds the *static* scheduling passes; they must
+    be bit-deterministic.  Importing ``time`` or ``random`` (or using
+    ``numpy.random``) there is forbidden — seeded randomness lives in
+    the graph generators and the conformance fault injector.
+
+Usage::
+
+    python tools/lint_rules.py            # lint the repo, exit 1 on findings
+    python tools/lint_rules.py PATH...    # lint specific files
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+import sys
+from typing import Iterable, Optional
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+#: Directories scanned by default (relative to the repo root).
+DEFAULT_SCOPE = ("src", "tests", "benchmarks", "tools")
+
+#: The one package allowed to mutate private simulator state.
+MACHINE_PREFIX = pathlib.PurePosixPath("src/repro/machine")
+
+#: The deterministic core; no wall clock, no RNG.
+CORE_PREFIX = pathlib.PurePosixPath("src/repro/core")
+
+FORBIDDEN_CORE_MODULES = {"time", "random"}
+
+
+def _receiver_name(node: ast.expr) -> Optional[str]:
+    return node.id if isinstance(node, ast.Name) else None
+
+
+def _private_attr_targets(stmt: ast.stmt) -> Iterable[ast.Attribute]:
+    """Attribute nodes written/deleted by ``stmt``."""
+    targets: list[ast.expr] = []
+    if isinstance(stmt, ast.Assign):
+        targets = list(stmt.targets)
+    elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+        targets = [stmt.target]
+    elif isinstance(stmt, ast.Delete):
+        targets = list(stmt.targets)
+    for t in targets:
+        # Unpack tuple/list targets: ``a.x, b._y = ...``
+        stack = [t]
+        while stack:
+            n = stack.pop()
+            if isinstance(n, (ast.Tuple, ast.List)):
+                stack.extend(n.elts)
+            elif isinstance(n, ast.Starred):
+                stack.append(n.value)
+            elif isinstance(n, ast.Attribute):
+                yield n
+
+
+def check_private_mutation(tree: ast.AST, path: str) -> list[tuple[int, str]]:
+    """``private-mutation`` findings as ``(lineno, message)``."""
+    out: list[tuple[int, str]] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign,
+                                 ast.Delete)):
+            continue
+        for attr in _private_attr_targets(node):
+            if not attr.attr.startswith("_"):
+                continue
+            if attr.attr.startswith("__") and attr.attr.endswith("__"):
+                continue  # dunder metadata (functools.wraps-style) is fine
+            recv = _receiver_name(attr.value)
+            if recv in ("self", "cls"):
+                continue
+            out.append((
+                attr.lineno,
+                f"private-mutation: writes {recv or '<expr>'}.{attr.attr} "
+                f"outside {MACHINE_PREFIX}/ — use the public API or an "
+                "Instrument hook",
+            ))
+    return out
+
+
+def check_wallclock_in_core(tree: ast.AST, path: str) -> list[tuple[int, str]]:
+    """``wallclock-in-core`` findings as ``(lineno, message)``."""
+    out: list[tuple[int, str]] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                root = alias.name.split(".")[0]
+                if root in FORBIDDEN_CORE_MODULES:
+                    out.append((
+                        node.lineno,
+                        f"wallclock-in-core: imports {alias.name!r}; core "
+                        "scheduling passes must be deterministic",
+                    ))
+        elif isinstance(node, ast.ImportFrom):
+            root = (node.module or "").split(".")[0]
+            if root in FORBIDDEN_CORE_MODULES and node.level == 0:
+                out.append((
+                    node.lineno,
+                    f"wallclock-in-core: imports from {node.module!r}; core "
+                    "scheduling passes must be deterministic",
+                ))
+        elif isinstance(node, ast.Attribute) and node.attr == "random":
+            recv = _receiver_name(node.value)
+            if recv in ("np", "numpy"):
+                out.append((
+                    node.lineno,
+                    "wallclock-in-core: uses numpy.random; seeded RNG "
+                    "belongs in the generators / fault injector",
+                ))
+    return out
+
+
+def lint_file(path: pathlib.Path, repo: pathlib.Path = REPO) -> list[str]:
+    rel = pathlib.PurePosixPath(path.resolve().relative_to(repo).as_posix())
+    try:
+        tree = ast.parse(path.read_text(), filename=str(path))
+    except SyntaxError as err:  # pragma: no cover - CI surfaces it via ruff
+        return [f"{rel}:{err.lineno}: syntax error: {err.msg}"]
+    findings: list[tuple[int, str]] = []
+    if not rel.is_relative_to(MACHINE_PREFIX):
+        findings += check_private_mutation(tree, str(rel))
+    if rel.is_relative_to(CORE_PREFIX):
+        findings += check_wallclock_in_core(tree, str(rel))
+    return [f"{rel}:{line}: {msg}" for line, msg in sorted(findings)]
+
+
+def iter_default_files(repo: pathlib.Path = REPO) -> list[pathlib.Path]:
+    files: list[pathlib.Path] = []
+    for scope in DEFAULT_SCOPE:
+        root = repo / scope
+        if root.is_dir():
+            files.extend(sorted(root.rglob("*.py")))
+    return files
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    files = [pathlib.Path(a) for a in argv] or iter_default_files()
+    findings: list[str] = []
+    for f in files:
+        findings.extend(lint_file(f))
+    for line in findings:
+        print(line)
+    if findings:
+        print(f"{len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
