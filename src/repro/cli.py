@@ -371,6 +371,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--analyze", action="store_true",
                         help="sweep: statically analyze every cell and add "
                              "an 'analysis_errors' column")
+    parser.add_argument("--engine", default="interpreted",
+                        choices=("interpreted", "compiled"),
+                        help="sweep: simulator engine; 'compiled' runs the "
+                             "array-compiled engine (same CSV bytes, "
+                             "faster; observed cells fall back)")
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
@@ -412,6 +417,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             metrics=args.metrics is not None,
             check=args.check,
             analyze=args.analyze,
+            engine=args.engine,
         )
         out = pathlib.Path(args.out)
         target = out / "sweep.csv" if out.is_dir() or not out.suffix else out

@@ -169,15 +169,20 @@ class ExperimentContext:
         """The RCP schedule's TOT — the 100% reference of section 5.1."""
         return self.profile(key, p, "rcp").tot
 
-    def baseline_pt(self, key: str, p: int) -> float:
+    def baseline_pt(self, key: str, p: int, engine: str = "interpreted") -> float:
         """Parallel time of the RCP schedule, 100% memory, no memory
-        management (the comparison base of Tables 2/3)."""
-        ck = (key, p)
+        management (the comparison base of Tables 2/3).
+
+        Cached per engine: the engines agree exactly (the differential
+        suite asserts it), but keeping the cache keys separate means a
+        mixed-engine session never hides a disagreement."""
+        ck = (key, p, engine)
         if ck not in self._baseline_pt:
             res = Simulator(
                 spec=self.spec,
                 memory_managed=False,
                 compiled=self.compiled(key, p, "rcp"),
+                engine=engine,
             ).run()
             self._baseline_pt[ck] = res.parallel_time
         return self._baseline_pt[ck]
@@ -222,6 +227,7 @@ class ExperimentContext:
         collect_metrics: bool = False,
         collect_check: bool = False,
         collect_analysis: bool = False,
+        engine: str = "interpreted",
     ) -> CellMetrics:
         """Measure one table cell.
 
@@ -237,6 +243,11 @@ class ExperimentContext:
         the static analyzer judges the cell's plan (no extra simulation)
         and fills ``analysis_errors``.  Results of the different modes
         are cached separately so mixing them never reuses the wrong run.
+
+        ``engine`` selects the simulator engine (see
+        :class:`~repro.machine.simulator.Simulator`); metric/check cells
+        are observed runs and therefore fall back to the interpreted
+        engine regardless of the requested value.
         """
         tot = (
             self.reference_tot(key, p)
@@ -246,7 +257,7 @@ class ExperimentContext:
         capacity = int(math.floor(tot * fraction))
         cap_arg = capacity if merge_capacity else None
         prof = self.profile(key, p, heuristic, cap_arg)
-        base = self.baseline_pt(key, p)
+        base = self.baseline_pt(key, p, engine)
         if prof.min_mem > capacity:
             return CellMetrics(
                 executable=False, capacity=capacity, min_mem=prof.min_mem, tot=tot,
@@ -259,7 +270,10 @@ class ExperimentContext:
                     if collect_analysis else None
                 ),
             )
-        sk = (key, p, heuristic, cap_arg, capacity, collect_metrics, collect_check)
+        sk = (
+            key, p, heuristic, cap_arg, capacity, collect_metrics,
+            collect_check, engine,
+        )
         if sk not in self._sims:
             checker = None
             if collect_check:
@@ -272,6 +286,7 @@ class ExperimentContext:
                 compiled=self.compiled(key, p, heuristic, cap_arg),
                 metrics=collect_metrics,
                 instrument=checker,
+                engine=engine,
             ).run()
             self._sims[sk] = (
                 res,

@@ -94,6 +94,7 @@ def _run_group(
     metrics: bool = False,
     check: bool = False,
     analyze: bool = False,
+    engine: str = "interpreted",
 ) -> list[SweepRecord]:
     """All records of one (workload, procs) group, in grid order."""
     out: list[SweepRecord] = []
@@ -101,7 +102,7 @@ def _run_group(
         for f in fractions:
             cell = ctx.run_cell(
                 key, p, h, f, reference=reference, collect_metrics=metrics,
-                collect_check=check, collect_analysis=analyze,
+                collect_check=check, collect_analysis=analyze, engine=engine,
             )
             out.append(
                 SweepRecord(
@@ -139,11 +140,12 @@ def _worker_init(spec, registered) -> None:
 
 
 def _worker_run_group(args) -> list[SweepRecord]:
-    key, p, heuristics, fractions, reference, metrics, check, analyze = args
+    (key, p, heuristics, fractions, reference, metrics, check, analyze,
+     engine) = args
     assert _WORKER_CTX is not None
     return _run_group(
         _WORKER_CTX, key, p, heuristics, fractions, reference, metrics, check,
-        analyze,
+        analyze, engine,
     )
 
 
@@ -158,6 +160,7 @@ def full_sweep(
     metrics: bool = False,
     check: bool = False,
     analyze: bool = False,
+    engine: str = "interpreted",
 ) -> list[SweepRecord]:
     """Run the full grid; non-executable cells get ``inf`` metrics.
 
@@ -184,6 +187,13 @@ def full_sweep(
     fills the ``analysis_errors`` column with the count of
     error-severity findings; planner output is clean by construction,
     and non-executable cells count their ``SA101``.
+
+    ``engine`` selects the simulator engine for every cell (see
+    :class:`~repro.machine.simulator.Simulator`).  The engines agree
+    exactly on all record fields — ``engine="compiled"`` produces CSV
+    byte-identical to the interpreted sweep, only faster; cells that
+    must run observed (``metrics``/``check``) fall back to the
+    interpreted engine per the fallback contract.
     """
     if not jobs or jobs < 0:
         jobs = os.cpu_count() or 1
@@ -194,13 +204,13 @@ def full_sweep(
             out.extend(
                 _run_group(
                     ctx, key, p, heuristics, fractions, reference, metrics,
-                    check, analyze,
+                    check, analyze, engine,
                 )
             )
         return out
     tasks = [
         (key, p, tuple(heuristics), tuple(fractions), reference, metrics,
-         check, analyze)
+         check, analyze, engine)
         for key, p in groups
     ]
     with ProcessPoolExecutor(

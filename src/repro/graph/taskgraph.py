@@ -126,6 +126,7 @@ class TaskGraph:
         self.object_index = {n: i for i, n in enumerate(self.object_names)}
         self.object_size = {n: o.size for n, o in self._objects.items()}
         self._topo_cache = self._toposort()  # raises CycleError on cycles
+        self._edge_count_cache = sum(len(s) for s in self._succ.values())
         self._frozen = True
         return self
 
@@ -169,6 +170,11 @@ class TaskGraph:
 
     @property
     def num_edges(self) -> int:
+        # Frozen graphs cannot gain edges, so the count computed by
+        # freeze() stays valid; recomputing it here would make every
+        # fingerprint check O(tasks).
+        if self._frozen:
+            return self._edge_count_cache
         return sum(len(s) for s in self._succ.values())
 
     def tasks(self) -> Iterator[Task]:

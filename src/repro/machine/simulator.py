@@ -61,6 +61,37 @@ All dynamic state of :meth:`Simulator.run` is local to the call: a
 run repeatedly — even concurrently from several threads — and a failed
 run (:class:`~repro.errors.DeadlockError`, …) leaves no residue behind.
 
+Event ordering and time arithmetic
+----------------------------------
+
+The event queue is a heap of ``(time, seq, kind, payload)`` tuples where
+``seq`` is a strictly monotone push counter.  Same-timestamp events are
+therefore processed in *push order* (deterministic FIFO tie-breaking);
+:func:`post` asserts both invariants at push time — ``seq``
+monotonicity, and causality (``time >= now``, the timestamp of the
+event currently being processed), which together guarantee the heap
+never pops an event "in the past" and that tie order is exactly
+creation order.  All event times are plain Python ``float64`` values
+produced by *sequential* additions (``start + cost``); there is no
+re-association, no compensated summation and no numpy accumulation
+anywhere in the loop, so a given schedule produces bit-identical times
+on every run.  The array-compiled engine (:mod:`repro.machine.compiled`)
+reproduces the same float expressions in the same order and only
+completes a task inline when its finish time is *strictly* before the
+earliest queued event, which preserves this (time, seq) order exactly —
+the differential oracle compares engines with ``==``, not ``allclose``.
+
+Engine selection
+----------------
+
+``Simulator(..., engine="compiled")`` routes fault-free, uninstrumented
+runs through the array-compiled engine; runs with ``metrics=True``,
+``trace=True``, an attached instrument, active fault injection, a
+caller-supplied ``plan`` object, or negative spec costs fall back to
+this interpreted engine *explicitly* (``SimResult.engine`` records
+which engine produced the result).  ``engine="auto"`` is the same
+policy spelled as a preference rather than a request.
+
 Telemetry
 ---------
 
@@ -169,6 +200,10 @@ class SimResult:
     telemetry: Optional[MetricsSuite] = None
     #: ``heuristic:pP:Nt`` label of the executed schedule.
     schedule_label: str = ""
+    #: Which engine produced this result: ``"interpreted"`` or
+    #: ``"compiled"`` (a requested-compiled run that fell back to the
+    #: interpreted engine records ``"interpreted"``).
+    engine: str = "interpreted"
 
     def render_trace(self, limit: Optional[int] = 200) -> str:
         """Human-readable event log (requires ``trace=True``).
@@ -231,6 +266,26 @@ class CompiledSchedule:
     MAP plans *do* depend on the capacity; :meth:`plan_for` memoises
     them per capacity so a sweep re-running one schedule under a
     capacity it has already planned pays nothing.
+
+    Cache-staleness guard
+    ---------------------
+    Both memoised caches are guarded against silent staleness:
+
+    * the MAP-plan cache (:meth:`plan_for`) is keyed by capacity only,
+      which is sound *because* everything else a plan depends on — the
+      schedule orders, the graph shape and the processor count — is
+      frozen into this object at ``_compile`` time.  A structural
+      fingerprint is captured then, and :meth:`check_fresh` (called on
+      every ``plan_for`` / compiled-engine lookup) raises
+      :class:`~repro.errors.SimulationError` if the underlying
+      ``Schedule``/graph was mutated afterwards, instead of serving a
+      plan for a schedule that no longer exists.
+    * compiled-engine execution plans additionally depend on the
+      :class:`~repro.machine.spec.MachineSpec` (cost parameters) and the
+      execution mode, so they are cached under the full key
+      ``(capacity, spec, memory_managed, preknown)`` — ``MachineSpec``
+      is a frozen dataclass and hashes by value, so two sweeps over
+      different machines never share an execution plan.
     """
 
     def __init__(
@@ -249,7 +304,14 @@ class CompiledSchedule:
             )
         self.profile = profile if profile is not None else analyze_memory(schedule)
         self._plans: dict[int, MapPlan] = {}
+        #: compiled-engine execution plans, keyed
+        #: ``(capacity, spec, memory_managed, preknown)`` — see
+        #: :func:`repro.machine.compiled.get_exec_plan`.
+        self._exec_plans: dict[tuple, object] = {}
+        #: lowered dense-array IR (shared by every execution plan).
+        self._lowered: Optional[object] = None
         self._compile()
+        self._fingerprint = self._schedule_fingerprint()
 
     # -- producer units -------------------------------------------------
 
@@ -384,13 +446,47 @@ class CompiledSchedule:
         # Permanent footprint per processor (allocated for the whole run).
         self.perm_bytes = [pp.perm_bytes for pp in self.profile.procs]
 
+    # -- cache-staleness guard ------------------------------------------
+
+    def _schedule_fingerprint(self) -> tuple:
+        """Structural identity of the schedule/graph the caches assume.
+
+        Cheap (O(P)) by design so :meth:`check_fresh` can run on every
+        memoised lookup: graph shape (task/object/edge counts), the
+        processor count and the per-processor order lengths plus their
+        final tasks.  Any mutation of ``schedule.orders`` or the graph
+        that could invalidate a cached plan changes at least one of
+        these."""
+        g, sched = self.graph, self.schedule
+        return (
+            g.num_tasks,
+            g.num_objects,
+            g.num_edges,
+            sched.num_procs,
+            tuple(len(o) for o in sched.orders),
+            tuple(o[-1] if o else "" for o in sched.orders),
+        )
+
+    def check_fresh(self) -> None:
+        """Raise :class:`~repro.errors.SimulationError` if the schedule
+        or graph was mutated after compilation (the memoised plans and
+        execution plans would silently describe a stale schedule)."""
+        if self._schedule_fingerprint() != self._fingerprint:
+            raise SimulationError(
+                "CompiledSchedule is stale: the schedule or graph changed "
+                "after compilation; build a new CompiledSchedule instead of "
+                "mutating the schedule behind a cached one"
+            )
+
     # -- MAP plans ------------------------------------------------------
 
     def plan_for(self, capacity: int) -> MapPlan:
         """MAP plan of this schedule under ``capacity``, memoised.
 
         Raises :class:`~repro.errors.NonExecutableScheduleError` below
-        ``MIN_MEM`` (failures are not cached)."""
+        ``MIN_MEM`` (failures are not cached).  The capacity-only key is
+        guarded by :meth:`check_fresh`; see the class docstring."""
+        self.check_fresh()
         plan = self._plans.get(capacity)
         if plan is None:
             plan = plan_maps(self.schedule, capacity, self.profile)
@@ -453,6 +549,7 @@ class Simulator:
         metrics: bool = False,
         instrument: Optional[Instrument] = None,
         faults: Optional["FaultSpec"] = None,  # noqa: F821
+        engine: str = "interpreted",
     ):
         """See class docstring; ``preknown_addresses=True`` models a
         steady-state iteration of an iterative application (RAPID's
@@ -473,7 +570,21 @@ class Simulator:
         anything with ``active`` and ``injector()``); each run draws a
         fresh run-local injector, so faulted executions stay
         deterministic and repeatable.  An inactive spec costs one
-        ``is None`` test per injection site."""
+        ``is None`` test per injection site.
+
+        ``engine`` selects the execution engine: ``"interpreted"`` (the
+        reference oracle, default), ``"compiled"`` (the array-compiled
+        engine of :mod:`repro.machine.compiled`) or ``"auto"``
+        (compiled when eligible).  Observed, fault-injected or
+        caller-supplied-plan runs are not supported by the compiled
+        engine and fall back to the interpreted one explicitly;
+        ``SimResult.engine`` records which engine actually ran."""
+        if engine not in ("interpreted", "compiled", "auto"):
+            raise SimulationError(
+                f"unknown engine {engine!r}; expected 'interpreted', "
+                "'compiled' or 'auto'"
+            )
+        self.engine = engine
         if compiled is None:
             if schedule is None:
                 raise SimulationError("Simulator needs a schedule or a compiled schedule")
@@ -526,7 +637,44 @@ class Simulator:
     # dynamic execution
     # ------------------------------------------------------------------
 
+    def _compiled_engine_eligible(self) -> bool:
+        """True when this run can use the array-compiled engine.
+
+        Observation (metrics/trace/instrument) and fault injection hook
+        into per-event callbacks the compiled engine deliberately does
+        not have; a caller-supplied MAP plan bypasses the memoised
+        ``plan_for`` cache the execution plans are lowered from; and
+        negative cost parameters break the causality invariant the
+        inline-completion rule relies on.  All of these fall back to
+        the interpreted oracle explicitly."""
+        if self.metrics_enabled or self.trace_enabled:
+            return False
+        if self.instrument is not None and self.instrument.enabled:
+            return False
+        if self.faults is not None and self.faults.active:
+            return False
+        if self.memory_managed and self.plan is not self.compiled._plans.get(
+            self.capacity
+        ):
+            return False
+        spec = self.spec
+        costs = (
+            spec.put_latency, spec.byte_time, spec.send_overhead,
+            spec.map_overhead, spec.alloc_cost, spec.free_cost,
+            spec.package_overhead, spec.address_cost, spec.ra_cost,
+        )
+        if min(costs) < 0:
+            return False
+        return True
+
     def run(self) -> SimResult:
+        if self.engine != "interpreted" and self._compiled_engine_eligible():
+            from .compiled import run_compiled
+
+            return run_compiled(self)
+        return self._run_interpreted()
+
+    def _run_interpreted(self) -> SimResult:
         sched, spec = self.schedule, self.spec
         cs = self.compiled
         nprocs = self.p
@@ -539,10 +687,25 @@ class Simulator:
 
         # --- mutable state (all run-local) ---------------------------
         seq = 0
+        last_seq = -1
+        now = 0.0  # timestamp of the event currently being processed
         events: list[tuple] = []  # (time, seq, kind, payload)
 
         def post(t: float, kind: int, payload: tuple) -> None:
-            nonlocal seq
+            # Tie-breaking contract (see module docstring): same-time
+            # events pop in push order because ``seq`` increases
+            # strictly at every push; causality (t >= now) guarantees
+            # nothing is ever scheduled before the event being handled,
+            # so heap order == processing order deterministically.  The
+            # compiled engine reproduces exactly this (time, seq) order.
+            nonlocal seq, last_seq
+            assert seq > last_seq, (
+                f"event seq must be strictly monotone ({seq} <= {last_seq})"
+            )
+            assert t >= now, (
+                f"event scheduled in the past (t={t!r} < now={now!r})"
+            )
+            last_seq = seq
             heapq.heappush(events, (t, seq, kind, payload))
             seq += 1
 
@@ -835,6 +998,7 @@ class Simulator:
         # --- event loop --------------------------------------------------
         while events:
             t, _s, kind, payload = heapq.heappop(events)
+            now = t
             if kind == _TASK_DONE:
                 q, task = payload
                 complete(q, task, t)
@@ -963,6 +1127,7 @@ class Simulator:
             trace=tlog.events if tlog is not None else None,
             telemetry=suite,
             schedule_label=self.schedule_label,
+            engine="interpreted",
         )
         if suite is not None:
             result.metrics = build_metrics(result, suite)

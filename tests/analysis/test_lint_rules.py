@@ -20,6 +20,10 @@ def wallclock(src: str):
     return lint_rules.check_wallclock_in_core(ast.parse(src), "x.py")
 
 
+def hot_alloc(src: str):
+    return lint_rules.check_compiled_hot_alloc(ast.parse(src), "compiled.py")
+
+
 class TestPrivateMutation:
     def test_flags_foreign_private_write(self):
         assert private("sim._clock = 5\n")
@@ -52,6 +56,75 @@ class TestWallclockInCore:
     def test_deterministic_core_code_is_fine(self):
         assert not wallclock("import math\nimport numpy as np\n"
                              "x = np.arange(3)\n")
+
+
+class TestCompiledHotAlloc:
+    def test_flags_call_in_hot_loop(self):
+        (finding,) = hot_alloc(
+            "def _seg_hot(ws):\n"
+            "    for w in ws:\n"
+            "        print(w)\n"
+        )
+        assert "Call" in finding[1] and "_seg_hot" in finding[1]
+
+    def test_flags_displays_and_comprehensions(self):
+        assert hot_alloc(
+            "def k_hot(xs):\n    while xs:\n        y = [1, 2]\n"
+        )
+        assert hot_alloc(
+            "def k_hot(xs):\n    for x in xs:\n        y = (x, x)\n"
+        )
+        assert hot_alloc(
+            "def k_hot(xs):\n    for x in xs:\n        y = {a for a in xs}\n"
+        )
+        assert hot_alloc(
+            "def k_hot(xs):\n    for x in xs:\n        y = f'{x}'\n"
+        )
+
+    def test_scalar_arithmetic_loops_are_fine(self):
+        assert not hot_alloc(
+            "def _seg_all_hot(ws, a, b):\n"
+            "    for w in ws:\n"
+            "        a += w\n"
+            "        b += w\n"
+            "    return a, b\n"
+        )
+
+    def test_allocation_outside_the_loop_is_fine(self):
+        # Setup and return values may allocate; only loop bodies are hot.
+        assert not hot_alloc(
+            "def k_hot(ws):\n"
+            "    acc = list(ws)\n"
+            "    s = 0.0\n"
+            "    for w in acc:\n"
+            "        s += w\n"
+            "    return (s, len(acc))\n"
+        )
+
+    def test_non_hot_functions_are_ignored(self):
+        assert not hot_alloc(
+            "def lower(ws):\n    for w in ws:\n        x = [w]\n"
+        )
+
+    def test_store_context_tuple_targets_are_fine(self):
+        # Store-context tuples (unpack targets) don't allocate; only
+        # Load-context displays do.
+        assert not hot_alloc(
+            "def k_hot(ws):\n    s = 0.0\n    for a, b in ws:\n        s += a\n"
+        )
+        # ...but a Load-context tuple on the right-hand side does.
+        assert hot_alloc(
+            "def k_hot(ws):\n    for w in ws:\n        a, b = w, w\n"
+        )
+
+    def test_only_compiled_modules_are_scanned(self):
+        hot_src = "def k_hot(xs):\n    for x in xs:\n        y = [x]\n"
+        scanned = lint_rules._is_compiled_module
+        assert scanned("src/repro/machine/compiled.py")
+        assert scanned("src/repro/machine/compiled_kernels.py")
+        assert not scanned("src/repro/machine/simulator.py")
+        assert not scanned("src/repro/core/compiled.py")
+        assert hot_alloc(hot_src)  # the checker itself still flags it
 
 
 class TestLintFile:

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Repo-specific AST lint rules (run in CI next to ruff).
 
-Two invariants of this codebase that generic linters cannot express:
+Three invariants of this codebase that generic linters cannot express:
 
 ``private-mutation``
     Outside ``src/repro/machine/``, no code may assign to, aug-assign
@@ -16,6 +16,17 @@ Two invariants of this codebase that generic linters cannot express:
     be bit-deterministic.  Importing ``time`` or ``random`` (or using
     ``numpy.random``) there is forbidden — seeded randomness lives in
     the graph generators and the conformance fault injector.
+
+``compiled-hot-alloc``
+    In ``src/repro/machine/compiled*.py``, functions whose name ends in
+    ``_hot`` are the per-event / per-task kernels of the array-compiled
+    engine.  Their loops must not allocate Python objects: no calls, no
+    list/tuple/dict/set displays, no comprehensions, lambdas, f-strings
+    or starred expressions inside a ``for``/``while`` body.  Allocating
+    per event is exactly the interpreter overhead the engine exists to
+    remove, and the benchmark's >=10x gate on the silent-dominated cell
+    depends on it.  (Code *outside* the loops — setup and the return —
+    may allocate freely.)
 
 Usage::
 
@@ -126,6 +137,50 @@ def check_wallclock_in_core(tree: ast.AST, path: str) -> list[tuple[int, str]]:
     return out
 
 
+#: AST node types that allocate a fresh Python object on evaluation.
+_ALLOCATING_NODES = (
+    ast.Call, ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp,
+    ast.Lambda, ast.JoinedStr, ast.Starred,
+)
+_DISPLAY_NODES = (ast.List, ast.Tuple, ast.Dict, ast.Set)
+
+
+def _is_compiled_module(rel: str) -> bool:
+    p = pathlib.PurePosixPath(rel)
+    return (
+        p.is_relative_to(MACHINE_PREFIX)
+        and p.name.startswith("compiled")
+        and p.suffix == ".py"
+    )
+
+
+def check_compiled_hot_alloc(tree: ast.AST, path: str) -> list[tuple[int, str]]:
+    """``compiled-hot-alloc`` findings as ``(lineno, message)``."""
+    out: list[tuple[int, str]] = []
+    for fn in ast.walk(tree):
+        if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if not fn.name.endswith("_hot"):
+            continue
+        for loop in ast.walk(fn):
+            if not isinstance(loop, (ast.For, ast.While)):
+                continue
+            for node in ast.walk(loop):
+                bad = isinstance(node, _ALLOCATING_NODES) or (
+                    isinstance(node, _DISPLAY_NODES)
+                    and isinstance(getattr(node, "ctx", None), ast.Load)
+                )
+                if bad:
+                    out.append((
+                        node.lineno,
+                        f"compiled-hot-alloc: {type(node).__name__} inside a "
+                        f"loop of hot kernel {fn.name}(); per-event object "
+                        "allocation is forbidden in the compiled engine's "
+                        "hot loops",
+                    ))
+    return out
+
+
 def lint_file(path: pathlib.Path, repo: pathlib.Path = REPO) -> list[str]:
     rel = pathlib.PurePosixPath(path.resolve().relative_to(repo).as_posix())
     try:
@@ -137,6 +192,8 @@ def lint_file(path: pathlib.Path, repo: pathlib.Path = REPO) -> list[str]:
         findings += check_private_mutation(tree, str(rel))
     if rel.is_relative_to(CORE_PREFIX):
         findings += check_wallclock_in_core(tree, str(rel))
+    if _is_compiled_module(str(rel)):
+        findings += check_compiled_hot_alloc(tree, str(rel))
     return [f"{rel}:{line}: {msg}" for line, msg in sorted(findings)]
 
 
