@@ -10,7 +10,7 @@ performance trajectory of the engine can be compared across PRs::
     PYTHONPATH=src python benchmarks/bench_sweep_engine.py
     PYTHONPATH=src python -m pytest benchmarks/bench_sweep_engine.py -q
 
-The JSON schema is ``repro-bench-sweep/5`` (see EXPERIMENTS.md for the
+The JSON schema is ``repro-bench-sweep/6`` (see EXPERIMENTS.md for the
 field-by-field description).  Infinities are serialised as the string
 ``"inf"``, matching the sweep CSV convention.  Version 2 adds the
 ``instrumentation`` section: the cost of the :mod:`repro.obs` telemetry
@@ -34,7 +34,12 @@ schedule as a handful of segment kernels; must be at least
 cells (recorded, not gated: event count, not dispatch overhead,
 dominates them) and a sweep-CSV byte-identity check.  Every engine
 measurement also asserts exact result equality — the benchmark doubles
-as a differential run.
+as a differential run.  Version 6 adds the ``runtime`` section: the
+fault-tolerant supervised executor (:mod:`repro.experiments.runtime`)
+against the plain ``--jobs`` pool on the same fault-free grid —
+supervision (deadline tracking, completion polling, retry accounting)
+must cost at most ``RUNTIME_GATE_MAX_OVERHEAD`` of the plain parallel
+sweep, and the records and CSV bytes must be identical.
 
 ``SEED_BASELINE`` holds reference timings of the pre-optimisation
 engine, measured back-to-back with the optimised engine on the same
@@ -408,6 +413,62 @@ def bench_engines() -> dict:
     }
 
 
+#: Supervised-executor overhead settings.  The grid is a three-group
+#: slice of the default grid (big enough that per-group supervision
+#: cost would show, small enough to keep the benchmark fast); the gate
+#: is the acceptance budget for supervision of a fault-free sweep.
+RUNTIME_REPEATS = 5
+RUNTIME_GATE_MAX_OVERHEAD = 1.05
+RUNTIME_GRID = dict(
+    workloads=("lu-goodwin",),
+    procs=(2, 4, 8),
+    heuristics=("rcp", "mpo"),
+    fractions=(1.0, 0.5),
+    reference=REFERENCE,
+)
+
+
+def bench_runtime() -> dict:
+    """Supervised fault-free sweep vs the plain parallel executor.
+
+    Both run the same grid with the same worker count; the supervised
+    side adds deadline tracking, completion polling and retry
+    accounting (:func:`repro.experiments.runtime.run_supervised`) but
+    injects no faults, so any wall-clock difference is pure supervision
+    overhead.  Interleaved best-of-``RUNTIME_REPEATS`` timings of whole
+    sweeps (pool startup included on both sides); the records and CSV
+    bytes must be identical, and the overhead ratio is gated at
+    ``RUNTIME_GATE_MAX_OVERHEAD``.
+    """
+    from repro.experiments.runtime import RuntimePolicy
+
+    jobs = max(2, os.cpu_count() or 2)
+    best = {"plain": float("inf"), "supervised": float("inf")}
+    outputs: dict[str, list[SweepRecord]] = {}
+    for _ in range(RUNTIME_REPEATS):
+        for name in ("plain", "supervised"):
+            kwargs = dict(RUNTIME_GRID, jobs=jobs)
+            if name == "supervised":
+                kwargs["runtime"] = RuntimePolicy()
+            t0 = time.perf_counter()
+            outputs[name] = full_sweep(ExperimentContext(), **kwargs)
+            best[name] = min(best[name], time.perf_counter() - t0)
+    identical = outputs["supervised"] == outputs["plain"] and to_csv(
+        outputs["supervised"]
+    ) == to_csv(outputs["plain"])
+    return {
+        "grid": {k: list(v) if isinstance(v, tuple) else v
+                 for k, v in RUNTIME_GRID.items()},
+        "jobs": jobs,
+        "repeats": RUNTIME_REPEATS,
+        "gate_max_overhead": RUNTIME_GATE_MAX_OVERHEAD,
+        "plain_s": round(best["plain"], 3),
+        "supervised_s": round(best["supervised"], 3),
+        "supervised_vs_plain": round(best["supervised"] / best["plain"], 3),
+        "identical_to_plain": identical,
+    }
+
+
 def bench_sweep() -> dict:
     """Serial sweep with per-cell timings, then the parallel executor;
     asserts the two produce identical records and CSV bytes."""
@@ -485,6 +546,7 @@ def run_benchmark(out_path: pathlib.Path = OUT_PATH) -> dict:
     conformance = bench_conformance()
     analysis = bench_analysis()
     engines = bench_engines()
+    runtime = bench_runtime()
     sweep = bench_sweep()
     seed = SEED_BASELINE
     comparison = {
@@ -498,7 +560,7 @@ def run_benchmark(out_path: pathlib.Path = OUT_PATH) -> dict:
             seed["single_run"][key]["best_run_s"] / single[key]["best_run_s"], 2
         )
     report = {
-        "schema": "repro-bench-sweep/5",
+        "schema": "repro-bench-sweep/6",
         "generated_utc": datetime.now(timezone.utc).isoformat(timespec="seconds"),
         "machine": {
             "python": platform.python_version(),
@@ -517,6 +579,7 @@ def run_benchmark(out_path: pathlib.Path = OUT_PATH) -> dict:
         "conformance": conformance,
         "analysis": analysis,
         "engines": engines,
+        "runtime": runtime,
         "sweep": sweep,
         "seed_baseline": seed,
         "speedup_vs_seed": comparison,
@@ -560,6 +623,14 @@ def test_sweep_engine_benchmark():
     assert all(cell["exact"] for cell in eng["grid"].values())
     assert eng["sweep_csv_identical"]
     assert eng["gate"]["speedup"] >= ENGINE_GATE_MIN_SPEEDUP
+    # The supervised executor on a fault-free sweep must be free of
+    # observable cost (the ~1.05x acceptance budget) and bit-identical
+    # to the plain pool.  The assertion bound is loosened against CI
+    # noise, matching the instrumentation/conformance gates above; the
+    # recorded ratio is the number tracked across PRs.
+    rt = report["runtime"]
+    assert rt["identical_to_plain"]
+    assert rt["supervised_vs_plain"] < 1.25
     assert OUT_PATH.exists()
 
 
@@ -593,6 +664,12 @@ if __name__ == "__main__":
         print(f"engine grid    : {key} p={cell['procs']} "
               f"x{cell['speedup']:.2f} (exact: {cell['exact']})")
     print(f"engine sweep   : csv identical: {eng['sweep_csv_identical']}")
+    rt = report["runtime"]
+    print(f"runtime        : plain {rt['plain_s']:.2f}s | "
+          f"supervised {rt['supervised_s']:.2f}s | "
+          f"x{rt['supervised_vs_plain']:.3f} "
+          f"(gate <= {rt['gate_max_overhead']:.2f}x, "
+          f"identical: {rt['identical_to_plain']})")
     for k, v in report["speedup_vs_seed"].items():
         print(f"{k:24s}: {v:.2f}x")
     print(f"wrote {OUT_PATH}")

@@ -11,6 +11,8 @@ Usage::
     python -m repro all                # everything (a few minutes)
     python -m repro sweep --jobs 0 --metrics   # grid CSV + telemetry columns
     python -m repro sweep --check      # + invariant-violations column
+    python -m repro sweep --jobs 4 --checkpoint ckpt/   # journal progress
+    python -m repro sweep --jobs 4 --checkpoint ckpt/ --resume  # finish it
     python -m repro trace --metrics metrics.json --trace-out trace.json \
         --report report.html           # one instrumented run, exported
     python -m repro check --seed 7     # conformance batch: invariants + oracle
@@ -105,6 +107,48 @@ def _render_example_svgs(out_dir: str) -> list[str]:
         memory_svg(analyze_memory(sched), path=str(p2), capacity=8)
         written += [str(p1), str(p2)]
     return written
+
+
+def _parse_harness_faults(specs):
+    """Parse repeated ``--harness-fault KIND:WORKLOAD:PROCS[:ATTEMPTS]``
+    flags into a :class:`~repro.experiments.runtime.HarnessFaultSpec`.
+
+    ``KIND`` is ``kill``, ``hang`` or ``error``; ``ATTEMPTS`` is a
+    comma-separated list of 1-based attempt numbers or ``all`` (default
+    ``1`` — the fault fires once and the retry succeeds).
+    """
+    from .experiments.runtime import HarnessFaultSpec
+
+    groups = {"kill": [], "hang": [], "error": []}
+    on_attempts = None
+    for spec in specs:
+        parts = spec.split(":")
+        if len(parts) not in (3, 4) or parts[0] not in groups:
+            raise ValueError(
+                f"bad --harness-fault {spec!r}; expected "
+                "KIND:WORKLOAD:PROCS[:ATTEMPTS] with KIND in kill/hang/error"
+            )
+        kind, workload = parts[0], parts[1]
+        procs = int(parts[2])
+        attempts = (1,)
+        if len(parts) == 4:
+            attempts = (
+                () if parts[3] == "all"
+                else tuple(int(a) for a in parts[3].split(","))
+            )
+        if on_attempts is None:
+            on_attempts = attempts
+        elif on_attempts != attempts:
+            raise ValueError(
+                "all --harness-fault flags must agree on ATTEMPTS"
+            )
+        groups[kind].append((workload, procs))
+    return HarnessFaultSpec(
+        kill=tuple(groups["kill"]),
+        hang=tuple(groups["hang"]),
+        error=tuple(groups["error"]),
+        on_attempts=(1,) if on_attempts is None else on_attempts,
+    )
 
 
 def _resolve_workload(args):
@@ -376,6 +420,33 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="sweep: simulator engine; 'compiled' runs the "
                              "array-compiled engine (same CSV bytes, "
                              "faster; observed cells fall back)")
+    parser.add_argument("--workloads", nargs="*", default=None,
+                        metavar="KEY",
+                        help="sweep: workload keys of the grid "
+                             "(default chol15 lu-goodwin)")
+    parser.add_argument("--supervised", action="store_true",
+                        help="sweep: run under the fault-tolerant "
+                             "supervisor (timeouts, retries, structured "
+                             "failure records; see docs/resilience.md)")
+    parser.add_argument("--timeout", type=float, default=None, metavar="S",
+                        help="sweep: per-group wall-clock timeout in "
+                             "seconds (0 = never; implies --supervised)")
+    parser.add_argument("--retries", type=int, default=None, metavar="N",
+                        help="sweep: charged attempts per group before it "
+                             "is recorded as failed (implies --supervised)")
+    parser.add_argument("--checkpoint", default=None, metavar="DIR",
+                        help="sweep: journal completed groups to DIR as "
+                             "they finish (implies --supervised)")
+    parser.add_argument("--resume", action="store_true",
+                        help="sweep: replay groups already committed to "
+                             "the --checkpoint journal and run only the "
+                             "remainder (CSV identical to an "
+                             "uninterrupted run)")
+    parser.add_argument("--harness-fault", action="append", default=None,
+                        metavar="KIND:WORKLOAD:PROCS[:ATTEMPTS]",
+                        help="sweep: inject a deterministic harness fault "
+                             "(kill/hang/error) into one group, for "
+                             "resilience testing; repeatable")
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
@@ -409,7 +480,32 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
         from .experiments.sweep import full_sweep, to_csv
 
+        supervise = bool(
+            args.supervised or args.checkpoint or args.resume
+            or args.timeout is not None or args.retries is not None
+            or args.harness_fault
+        )
+        runtime = harness_faults = None
+        if supervise:
+            from .experiments.runtime import RuntimePolicy
+
+            policy_kw = {}
+            if args.timeout is not None:
+                policy_kw["timeout"] = args.timeout or None
+            if args.retries is not None:
+                policy_kw["max_attempts"] = args.retries
+            runtime = RuntimePolicy(**policy_kw)
+            if args.harness_fault:
+                try:
+                    harness_faults = _parse_harness_faults(args.harness_fault)
+                except ValueError as err:
+                    print(str(err), file=sys.stderr)
+                    return 2
+
         ctx = ExperimentContext()
+        sweep_kw = {}
+        if args.workloads:
+            sweep_kw["workloads"] = tuple(args.workloads)
         records = full_sweep(
             ctx,
             procs=tuple(args.procs) if args.procs else (2, 4, 8, 16, 32),
@@ -418,12 +514,33 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             check=args.check,
             analyze=args.analyze,
             engine=args.engine,
+            runtime=runtime,
+            checkpoint=args.checkpoint,
+            resume=args.resume,
+            harness_faults=harness_faults,
+            **sweep_kw,
         )
         out = pathlib.Path(args.out)
         target = out / "sweep.csv" if out.is_dir() or not out.suffix else out
         target.parent.mkdir(parents=True, exist_ok=True)
         to_csv(records, path=str(target))
         print(f"wrote {target} ({len(records)} records)")
+        failed = sorted({
+            (r.workload, r.procs, r.status)
+            for r in records if r.status is not None
+        })
+        if failed:
+            # Controlled degradation: completed cells were written (and
+            # journaled under --checkpoint); the exit status still flags
+            # the run so CI and drivers notice.
+            for key, p, status in failed:
+                print(f"group {key}@{p} failed: {status}", file=sys.stderr)
+            print(
+                f"{len(failed)} group(s) failed; re-run with --checkpoint/"
+                "--resume to retry only the failed groups",
+                file=sys.stderr,
+            )
+            return 3
         return 0
 
     ctx = ExperimentContext()

@@ -17,7 +17,9 @@ from .common import (
     PROCS,
     compare_pt,
 )
-from . import figure7, report, sweep, table8, tables, validate
+from . import checkpoint, figure7, report, runtime, sweep, table8, tables, validate
+from .runtime import CellFailure, HarnessFaultSpec, RuntimePolicy
+from .checkpoint import CheckpointJournal, grid_fingerprint
 from .sweep import SweepRecord, from_csv, full_sweep, to_csv
 from .validate import Claim, render_scorecard
 from .validate import validate as run_validation
@@ -26,8 +28,15 @@ from .table8 import table8 as run_table8
 from .tables import table1, table2, table3, table4, table5, table6, table7
 
 __all__ = [
+    "CellFailure",
     "CellMetrics",
+    "CheckpointJournal",
     "ExperimentContext",
+    "HarnessFaultSpec",
+    "RuntimePolicy",
+    "checkpoint",
+    "grid_fingerprint",
+    "runtime",
     "FRACTIONS",
     "FRACTIONS_CMP",
     "PROCS",

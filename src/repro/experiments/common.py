@@ -127,6 +127,35 @@ class ExperimentContext:
         self._problems[key] = problem
         self._registered[key] = problem
 
+    def shipped_problems(self, workloads) -> dict[str, object]:
+        """The registered problems a parallel sweep over ``workloads``
+        must ship to its workers.
+
+        Only problems actually named in the grid are included — workers
+        never pay to unpickle (or choke on) registrations the sweep does
+        not use — and each shipped problem is pickled *here*, so an
+        unpicklable one fails fast with a clear error instead of a deep
+        ``ProcessPoolExecutor`` traceback mid-sweep.
+        """
+        import pickle
+
+        wanted = set(workloads)
+        out: dict[str, object] = {}
+        for key, problem in self._registered.items():
+            if key not in wanted:
+                continue
+            try:
+                pickle.dumps(problem)
+            except Exception as err:
+                raise ValueError(
+                    f"registered problem {key!r} is not picklable and cannot "
+                    f"be shipped to sweep workers: {err!r}. Make the problem "
+                    "picklable (module-level classes, no lambdas/closures) "
+                    "or run the sweep with jobs=1."
+                ) from err
+            out[key] = problem
+        return out
+
     # -- schedules ---------------------------------------------------------
 
     def schedule(self, key: str, p: int, heuristic: str, capacity: Optional[int] = None) -> Schedule:

@@ -1,0 +1,394 @@
+"""Fault-tolerant execution layer under :func:`full_sweep`.
+
+Scaling the sweep grid toward multi-hour runs means treating per-group
+failure as *data*, not as a crash: one hung cell, one OOM-killed worker
+or one :class:`~repro.errors.DeadlockError` must not abort the sweep
+and discard every completed record.  This module supervises the
+(workload, procs) groups that :mod:`repro.experiments.sweep` fans out
+to worker processes:
+
+* **Timeouts** — every group gets a wall-clock budget
+  (:attr:`RuntimePolicy.timeout`); on expiry the worker pool is killed
+  and resurrected, the culprit is charged an attempt, and bystander
+  groups are requeued for free.
+* **Retries** — charged attempts are bounded
+  (:attr:`RuntimePolicy.max_attempts`) with exponential backoff and
+  deterministic jitter (seeded per group+attempt, so two runs of the
+  same policy sleep identically).
+* **Crash attribution** — a dead worker breaks the whole
+  :class:`~concurrent.futures.ProcessPoolExecutor`, taking innocent
+  in-flight groups with it.  The supervisor resurrects the pool and
+  re-runs the involved groups one at a time (*quarantine*), so only the
+  group that actually kills its worker is charged.
+* **Graceful degradation** — a group that exhausts its retries (or
+  fails deterministically: any :class:`~repro.errors.ReproError` such
+  as ``DeadlockError`` or ``MemoryError_`` is not retried) becomes a
+  structured :class:`CellFailure` instead of poisoning the run.
+* **Streaming checkpoints** — an ``on_complete`` callback fires as each
+  group finishes, which :func:`full_sweep` uses to journal progress
+  (:mod:`repro.experiments.checkpoint`).
+
+Worker-side exceptions are converted to a picklable :class:`WorkerError`
+*inside* the worker — simulator exceptions with multi-argument
+constructors (``DeadlockError``) do not survive the executor's pickle
+round trip, and a failure report must never be the thing that crashes
+the harness.
+
+To keep the layer honest, :class:`HarnessFaultSpec` extends the
+PR-4 fault-injection philosophy to the harness itself: it deterministically
+kills the worker, raises an injected exception, or sleeps past the
+timeout in chosen groups and attempts, driving the kill/hang/resume
+tests and the CI resilience job.
+
+This module is the one place in the repository allowed to call
+``time.sleep`` (enforced by ``tools/lint_rules.py``): all waiting —
+backoff, timeout polling — is centralised here.
+"""
+
+from __future__ import annotations
+
+import heapq
+import os
+import signal
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from random import Random
+from typing import Callable, Optional, Sequence
+
+__all__ = [
+    "CellFailure",
+    "HarnessFaultSpec",
+    "InjectedHarnessError",
+    "RuntimePolicy",
+    "WorkerError",
+    "run_supervised",
+]
+
+#: A sweep group identifier: (workload key, processor count).
+GroupKey = tuple[str, int]
+
+
+@dataclass(frozen=True)
+class RuntimePolicy:
+    """Supervision knobs of one sweep run.
+
+    The defaults are production-shaped (generous timeout, three
+    attempts, sub-second backoff); tests tighten them.  All waits
+    derived from a policy are deterministic given ``seed``.
+    """
+
+    #: Wall-clock seconds one group attempt may take before its worker
+    #: pool is killed (``None`` = never time out).  The budget starts at
+    #: submission and therefore includes worker warm-up.
+    timeout: Optional[float] = 300.0
+    #: Charged attempts per group before it is recorded as failed.
+    max_attempts: int = 3
+    #: First backoff delay in seconds; attempt ``n`` waits
+    #: ``backoff_base * backoff_factor**(n-1)`` plus jitter.
+    backoff_base: float = 0.5
+    backoff_factor: float = 2.0
+    #: Jitter fraction: the delay is multiplied by a deterministic
+    #: ``1 + uniform(0, backoff_jitter)`` drawn from ``seed``.
+    backoff_jitter: float = 0.1
+    #: Seed of the jitter stream (per group+attempt, so concurrent
+    #: groups never share a draw).
+    seed: int = 0
+    #: Supervisor wake-up interval for timeout checks, seconds.
+    poll_interval: float = 0.05
+
+    def backoff_s(self, key: GroupKey, attempt: int) -> float:
+        """Deterministic backoff before retry ``attempt + 1``."""
+        base = self.backoff_base * self.backoff_factor ** (attempt - 1)
+        rng = Random(f"{self.seed}:{key[0]}:{key[1]}:{attempt}")
+        return base * (1.0 + self.backoff_jitter * rng.random())
+
+
+class InjectedHarnessError(RuntimeError):
+    """The exception :class:`HarnessFaultSpec` raises in a worker."""
+
+
+@dataclass(frozen=True)
+class HarnessFaultSpec:
+    """Deterministic fault injection for the *harness* (not the
+    simulator — see :class:`repro.conformance.FaultSpec` for that).
+
+    Faults fire inside the worker process, keyed on the group and the
+    attempt number the supervisor passes down, so a kill/hang/resume
+    test is exactly reproducible.  ``on_attempts`` selects which charged
+    attempts trigger (1-based); the empty tuple means *every* attempt —
+    the exhaust-the-retries configuration.
+    """
+
+    #: Groups whose worker process is SIGKILLed (simulates the OOM
+    #: killer; breaks the pool).
+    kill: tuple[GroupKey, ...] = ()
+    #: Groups that sleep ``hang_s`` before running (simulates a hang;
+    #: trips the supervisor's timeout when ``hang_s`` exceeds it).
+    hang: tuple[GroupKey, ...] = ()
+    #: Groups that raise :class:`InjectedHarnessError`.
+    error: tuple[GroupKey, ...] = ()
+    #: Attempts the fault fires on; ``()`` = all attempts.
+    on_attempts: tuple[int, ...] = (1,)
+    #: Injected sleep for ``hang`` groups, seconds.
+    hang_s: float = 30.0
+
+    def apply(self, key: GroupKey, attempt: int) -> None:
+        """Trigger the configured fault for (``key``, ``attempt``);
+        runs in the worker process."""
+        if self.on_attempts and attempt not in self.on_attempts:
+            return
+        if key in self.kill:
+            os.kill(os.getpid(), signal.SIGKILL)
+        if key in self.error:
+            raise InjectedHarnessError(
+                f"injected harness error in group {key[0]}@{key[1]} "
+                f"(attempt {attempt})"
+            )
+        if key in self.hang:
+            time.sleep(self.hang_s)
+
+
+@dataclass(frozen=True)
+class WorkerError:
+    """Picklable stand-in for an exception raised inside a worker."""
+
+    kind: str
+    message: str
+    #: Deterministic library errors (``ReproError``: deadlocks, memory
+    #: misuse, non-executable schedules) re-fail identically on retry,
+    #: so the supervisor fails them fast instead of burning attempts.
+    retryable: bool
+
+
+@dataclass(frozen=True)
+class CellFailure:
+    """Structured record of a group that exhausted its retries.
+
+    :func:`full_sweep` expands one ``CellFailure`` into per-cell
+    failure records (the opt-in ``status``/``error``/``attempts``/
+    ``elapsed`` CSV columns).
+    """
+
+    workload: str
+    procs: int
+    #: ``"timeout"`` (wall-clock budget exceeded), ``"crashed"``
+    #: (worker process died) or ``"error"`` (exception in the group).
+    status: str
+    error: str
+    attempts: int
+    #: Wall-clock seconds from first submission to the failure verdict
+    #: (includes retries and backoff).
+    elapsed: float
+
+
+class _Group:
+    """Supervisor-side state of one submitted group."""
+
+    __slots__ = ("index", "key", "args", "attempts", "deadline", "first_submit")
+
+    def __init__(self, index: int, key: GroupKey, args: tuple):
+        self.index = index
+        self.key = key
+        self.args = args
+        #: Charged attempts (successes, attributed crashes/timeouts,
+        #: worker exceptions).  Collateral pool deaths are free.
+        self.attempts = 0
+        self.deadline: Optional[float] = None
+        self.first_submit: Optional[float] = None
+
+
+def _supervised_entry(payload):
+    """Worker-side entry point: apply harness faults, run the group,
+    and convert any exception into a picklable :class:`WorkerError`."""
+    key, attempt, faults, args = payload
+    if faults is not None:
+        faults.apply(key, attempt)
+    from ..errors import ReproError
+    from .sweep import _worker_run_group
+
+    try:
+        return _worker_run_group(args)
+    except Exception as err:
+        return WorkerError(
+            kind=type(err).__name__,
+            message=str(err),
+            retryable=not isinstance(err, ReproError),
+        )
+
+
+def _kill_pool(pool: ProcessPoolExecutor) -> None:
+    """SIGKILL every worker of ``pool`` and reap the executor."""
+    for proc in list(getattr(pool, "_processes", {}).values()):
+        try:
+            proc.kill()
+        except (OSError, ValueError):
+            pass  # already gone
+    pool.shutdown(wait=True, cancel_futures=True)
+
+
+def run_supervised(
+    tasks: Sequence[tuple[GroupKey, tuple]],
+    *,
+    jobs: int,
+    initializer,
+    initargs: tuple,
+    policy: Optional[RuntimePolicy] = None,
+    faults: Optional[HarnessFaultSpec] = None,
+    on_complete: Optional[Callable[[GroupKey, list], None]] = None,
+) -> list:
+    """Execute ``tasks`` (``(key, worker_args)`` pairs) under
+    supervision; returns one entry per task, aligned by index — either
+    the group's record list or a :class:`CellFailure`.
+
+    ``on_complete(key, records)`` fires in the supervisor as each group
+    finishes successfully (the checkpoint-journal hook).
+    """
+    policy = policy or RuntimePolicy()
+    if not tasks:
+        return []
+    states = [_Group(i, key, args) for i, (key, args) in enumerate(tasks)]
+    results: list = [None] * len(states)
+    ready = deque(states)
+    #: Groups involved in an unattributed pool break; re-run one at a
+    #: time so the next break identifies its culprit.
+    quarantine: deque[_Group] = deque()
+    #: Backoff heap of (wake_time, tiebreak, group).
+    sleeping: list[tuple[float, int, _Group]] = []
+    seq = 0
+    max_workers = max(1, min(jobs, len(states)))
+
+    def new_pool() -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=max_workers, initializer=initializer, initargs=initargs
+        )
+
+    def retry_or_fail(st: _Group, status: str, message: str,
+                      retryable: bool) -> None:
+        nonlocal seq
+        if retryable and st.attempts < policy.max_attempts:
+            delay = policy.backoff_s(st.key, st.attempts)
+            seq += 1
+            heapq.heappush(sleeping, (time.monotonic() + delay, seq, st))
+            return
+        results[st.index] = CellFailure(
+            workload=st.key[0],
+            procs=st.key[1],
+            status=status,
+            error=message,
+            attempts=st.attempts,
+            elapsed=round(time.monotonic() - (st.first_submit or 0.0), 3),
+        )
+
+    pool = new_pool()
+    inflight: dict = {}
+
+    def submit(st: _Group) -> None:
+        now = time.monotonic()
+        if st.first_submit is None:
+            st.first_submit = now
+        st.deadline = None if policy.timeout is None else now + policy.timeout
+        fut = pool.submit(
+            _supervised_entry, (st.key, st.attempts + 1, faults, st.args)
+        )
+        inflight[fut] = st
+
+    try:
+        while ready or quarantine or sleeping or inflight:
+            now = time.monotonic()
+            while sleeping and sleeping[0][0] <= now:
+                _, _, st = heapq.heappop(sleeping)
+                ready.append(st)
+            if not inflight and quarantine:
+                submit(quarantine.popleft())
+            elif not quarantine:
+                while ready and len(inflight) < max_workers:
+                    submit(ready.popleft())
+            if not inflight:
+                if sleeping:
+                    time.sleep(
+                        max(0.0, min(sleeping[0][0] - time.monotonic(),
+                                     policy.poll_interval))
+                    )
+                continue
+
+            done, _ = wait(
+                inflight, timeout=policy.poll_interval,
+                return_when=FIRST_COMPLETED,
+            )
+            broken: list[_Group] = []
+            for fut in done:
+                st = inflight.pop(fut)
+                exc = fut.exception()
+                if exc is None:
+                    payload = fut.result()
+                    st.attempts += 1
+                    if isinstance(payload, WorkerError):
+                        retry_or_fail(
+                            st, "error",
+                            f"{payload.kind}: {payload.message}",
+                            payload.retryable,
+                        )
+                    else:
+                        results[st.index] = payload
+                        if on_complete is not None:
+                            on_complete(st.key, payload)
+                elif isinstance(exc, BrokenProcessPool):
+                    broken.append(st)
+                else:  # pragma: no cover - executor-internal failure
+                    st.attempts += 1
+                    retry_or_fail(
+                        st, "error", f"{type(exc).__name__}: {exc}", True
+                    )
+            if broken:
+                # Everything still in flight dies with the pool.  A
+                # single involved group is the culprit and is charged;
+                # with several, nobody can be blamed yet — quarantine
+                # them uncharged and re-run one at a time so the next
+                # break identifies its culprit.
+                involved = broken + list(inflight.values())
+                inflight.clear()
+                if len(involved) == 1:
+                    st = involved[0]
+                    st.attempts += 1
+                    retry_or_fail(
+                        st, "crashed", "worker process died unexpectedly",
+                        True,
+                    )
+                else:
+                    quarantine.extend(involved)
+                pool.shutdown(wait=False, cancel_futures=True)
+                pool = new_pool()
+                continue
+
+            now = time.monotonic()
+            expired = [
+                st for st in inflight.values()
+                if st.deadline is not None and now >= st.deadline
+            ]
+            if expired:
+                # Kill the pool (futures cannot be cancelled once
+                # running); charge the culprits, requeue bystanders
+                # for free, and resurrect.
+                for st in expired:
+                    st.attempts += 1
+                    retry_or_fail(
+                        st, "timeout",
+                        f"group exceeded {policy.timeout:g}s wall-clock",
+                        True,
+                    )
+                bystanders = [
+                    st for st in inflight.values() if st not in expired
+                ]
+                ready.extendleft(reversed(bystanders))
+                inflight.clear()
+                _kill_pool(pool)
+                pool = new_pool()
+    finally:
+        if inflight:  # pragma: no cover - defensive on early exit
+            _kill_pool(pool)
+        else:
+            pool.shutdown(wait=True, cancel_futures=True)
+    return results

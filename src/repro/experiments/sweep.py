@@ -14,6 +14,14 @@ work is computed once per group rather than once per cell.  Results are
 returned in the same deterministic order as the serial sweep — the
 simulation itself is deterministic, so ``jobs=N`` produces records (and
 CSV bytes) identical to ``jobs=1``.
+
+For long runs the grid can execute under the fault-tolerant supervisor
+(:mod:`repro.experiments.runtime`): per-group timeouts, bounded retries,
+worker-pool resurrection, structured failure records instead of an
+aborted sweep, and a checkpoint journal
+(:mod:`repro.experiments.checkpoint`) that makes interrupted sweeps
+resumable — see the ``runtime``/``checkpoint``/``resume`` parameters of
+:func:`full_sweep` and ``docs/resilience.md``.
 """
 
 from __future__ import annotations
@@ -60,6 +68,12 @@ CHECK_FIELDS = ("violations",)
 #: ``analyze=True`` (opt-in, same contract).
 ANALYZE_FIELDS = ("analysis_errors",)
 
+#: Failure columns appended when a *supervised* sweep recorded at least
+#: one :class:`~repro.experiments.runtime.CellFailure` (opt-in, same
+#: contract — a fault-free supervised sweep's CSV is byte-identical to
+#: a plain one's).
+FAILURE_FIELDS = ("status", "error", "attempts", "elapsed")
+
 
 @dataclass(frozen=True)
 class SweepRecord:
@@ -82,6 +96,13 @@ class SweepRecord:
     violations: Optional[float] = None
     #: populated only by ``full_sweep(..., analyze=True)``
     analysis_errors: Optional[float] = None
+    #: failure columns, populated only on cells of a group that a
+    #: supervised sweep recorded as failed (``"timeout"``/``"crashed"``/
+    #: ``"error"``; see :mod:`repro.experiments.runtime`)
+    status: Optional[str] = None
+    error: Optional[str] = None
+    attempts: Optional[int] = None
+    elapsed: Optional[float] = None
 
 
 def _run_group(
@@ -133,6 +154,10 @@ _WORKER_CTX: Optional[ExperimentContext] = None
 
 
 def _worker_init(spec, registered) -> None:
+    """Build the per-worker context.  ``registered`` holds only the
+    custom problems the grid actually names (see
+    :meth:`~repro.experiments.common.ExperimentContext.shipped_problems`),
+    so workers never re-register workloads the sweep will not run."""
     global _WORKER_CTX
     _WORKER_CTX = ExperimentContext(spec=spec)
     for key, problem in registered.items():
@@ -149,6 +174,39 @@ def _worker_run_group(args) -> list[SweepRecord]:
     )
 
 
+def _failure_records(
+    failure,
+    heuristics: Sequence[str],
+    fractions: Sequence[float],
+) -> list[SweepRecord]:
+    """Expand one :class:`~repro.experiments.runtime.CellFailure` into
+    per-cell records carrying the failure columns (timing fields are
+    ``inf``, like non-executable cells)."""
+    inf = float("inf")
+    message = " ".join(failure.error.split())
+    return [
+        SweepRecord(
+            workload=failure.workload,
+            procs=failure.procs,
+            heuristic=h,
+            fraction=f,
+            executable=False,
+            capacity=0,
+            min_mem=0,
+            tot=0,
+            parallel_time=inf,
+            pt_increase=inf,
+            avg_maps=inf,
+            status=failure.status,
+            error=message,
+            attempts=failure.attempts,
+            elapsed=failure.elapsed,
+        )
+        for h in heuristics
+        for f in fractions
+    ]
+
+
 def full_sweep(
     ctx: ExperimentContext,
     workloads: Sequence[str] = ("chol15", "lu-goodwin"),
@@ -161,6 +219,10 @@ def full_sweep(
     check: bool = False,
     analyze: bool = False,
     engine: str = "interpreted",
+    runtime=None,
+    checkpoint: Optional[str] = None,
+    resume: bool = False,
+    harness_faults=None,
 ) -> list[SweepRecord]:
     """Run the full grid; non-executable cells get ``inf`` metrics.
 
@@ -194,11 +256,31 @@ def full_sweep(
     byte-identical to the interpreted sweep, only faster; cells that
     must run observed (``metrics``/``check``) fall back to the
     interpreted engine per the fallback contract.
+
+    Passing any of ``runtime`` (a
+    :class:`~repro.experiments.runtime.RuntimePolicy`), ``checkpoint``
+    (a journal directory), ``resume`` or ``harness_faults`` (a
+    :class:`~repro.experiments.runtime.HarnessFaultSpec`) runs the grid
+    under the *supervised* executor (:mod:`repro.experiments.runtime`):
+    per-group wall-clock timeouts, bounded retries with deterministic
+    backoff, worker-pool resurrection, streaming checkpoints, and
+    structured failure records (the ``status``/``error``/``attempts``/
+    ``elapsed`` columns) instead of an aborted sweep.  A fault-free
+    supervised sweep returns exactly the plain sweep's records;
+    ``resume=True`` replays groups already committed to the
+    ``checkpoint`` journal and executes only the remainder, so a resumed
+    run's CSV is byte-identical to an uninterrupted one.
     """
     if not jobs or jobs < 0:
         jobs = os.cpu_count() or 1
+    supervised = (
+        runtime is not None or checkpoint is not None or resume
+        or harness_faults is not None
+    )
+    if resume and checkpoint is None:
+        raise ValueError("resume=True requires a checkpoint directory")
     groups = [(key, p) for key in workloads for p in procs]
-    if jobs == 1 or len(groups) <= 1:
+    if not supervised and (jobs == 1 or len(groups) <= 1):
         out: list[SweepRecord] = []
         for key, p in groups:
             out.extend(
@@ -213,22 +295,76 @@ def full_sweep(
          check, analyze, engine)
         for key, p in groups
     ]
-    with ProcessPoolExecutor(
-        max_workers=min(jobs, len(groups)),
+    registered = ctx.shipped_problems(workloads)
+    if not supervised:
+        with ProcessPoolExecutor(
+            max_workers=min(jobs, len(groups)),
+            initializer=_worker_init,
+            initargs=(ctx.spec, registered),
+        ) as pool:
+            chunks = list(pool.map(_worker_run_group, tasks))
+        return [rec for chunk in chunks for rec in chunk]
+
+    from .runtime import CellFailure, run_supervised
+
+    journal = None
+    done: dict[tuple[str, int], list[SweepRecord]] = {}
+    if checkpoint is not None:
+        from .checkpoint import CheckpointJournal, grid_fingerprint
+
+        journal = CheckpointJournal(
+            checkpoint,
+            grid_fingerprint(
+                ctx.spec, workloads, procs, heuristics, fractions, reference,
+                metrics, check, analyze, engine,
+            ),
+        )
+        journal.start(resume=resume)
+        if resume:
+            done = journal.completed()
+    todo = [
+        ((key, p), task)
+        for (key, p), task in zip(groups, tasks)
+        if (key, p) not in done
+    ]
+    outcomes = run_supervised(
+        todo,
+        jobs=jobs,
         initializer=_worker_init,
-        initargs=(ctx.spec, dict(ctx._registered)),
-    ) as pool:
-        chunks = list(pool.map(_worker_run_group, tasks))
-    return [rec for chunk in chunks for rec in chunk]
+        initargs=(ctx.spec, registered),
+        policy=runtime,
+        faults=harness_faults,
+        on_complete=(
+            (lambda key, records: journal.record_group(key[0], key[1], records))
+            if journal is not None else None
+        ),
+    )
+    fresh = {key: outcome for (key, _), outcome in zip(todo, outcomes)}
+    out = []
+    for key, p in groups:
+        result = done.get((key, p))
+        if result is None:
+            result = fresh[(key, p)]
+        if isinstance(result, CellFailure):
+            out.extend(_failure_records(result, heuristics, fractions))
+        else:
+            out.extend(result)
+    return out
 
 
 def to_csv(records: Iterable[SweepRecord], path: Optional[str] = None) -> str:
     """Serialise sweep records as CSV; optionally write to ``path``.
 
     The telemetry columns of :data:`METRIC_FIELDS` appear only when some
-    record carries them (i.e. the sweep ran with ``metrics=True``), and
-    the ``violations`` column only when the sweep ran with ``check=True``;
-    without them the output is byte-identical to a plain sweep's CSV.
+    record carries them (i.e. the sweep ran with ``metrics=True``), the
+    ``violations`` column only when the sweep ran with ``check=True``,
+    and the :data:`FAILURE_FIELDS` only when a supervised sweep recorded
+    a failure; without them the output is byte-identical to a plain
+    sweep's CSV.
+
+    Writing is crash-safe: the text goes to a same-directory temporary
+    file and is atomically renamed into place, so an interrupted sweep
+    never leaves a truncated CSV behind.
     """
     records = list(records)
     with_metrics = any(r.map_overhead_frac is not None for r in records)
@@ -237,6 +373,8 @@ def to_csv(records: Iterable[SweepRecord], path: Optional[str] = None) -> str:
         fields = fields + CHECK_FIELDS
     if any(r.analysis_errors is not None for r in records):
         fields = fields + ANALYZE_FIELDS
+    if any(r.status is not None for r in records):
+        fields = fields + FAILURE_FIELDS
     buf = io.StringIO()
     writer = csv.DictWriter(buf, fieldnames=fields, extrasaction="ignore")
     writer.writeheader()
@@ -250,8 +388,9 @@ def to_csv(records: Iterable[SweepRecord], path: Optional[str] = None) -> str:
         writer.writerow(row)
     text = buf.getvalue()
     if path:
-        with open(path, "w", newline="") as fh:
-            fh.write(text)
+        from .checkpoint import atomic_write_text
+
+        atomic_write_text(path, text)
     return text
 
 
@@ -267,6 +406,11 @@ def from_csv(text: str) -> list[SweepRecord]:
             x = row.get(name)
             return f(x) if x not in (None, "") else None
 
+        def opt_str(name: str) -> Optional[str]:
+            x = row.get(name)
+            return x if x not in (None, "") else None
+
+        attempts = row.get("attempts")
         out.append(
             SweepRecord(
                 workload=row["workload"],
@@ -285,6 +429,10 @@ def from_csv(text: str) -> list[SweepRecord]:
                 max_suspq=opt("max_suspq"),
                 violations=opt("violations"),
                 analysis_errors=opt("analysis_errors"),
+                status=opt_str("status"),
+                error=opt_str("error"),
+                attempts=int(attempts) if attempts not in (None, "") else None,
+                elapsed=opt("elapsed"),
             )
         )
     return out

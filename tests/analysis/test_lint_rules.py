@@ -127,6 +127,57 @@ class TestCompiledHotAlloc:
         assert hot_alloc(hot_src)  # the checker itself still flags it
 
 
+def swallowed(src: str):
+    return lint_rules.check_swallowed_exception(ast.parse(src), "x.py")
+
+
+def naked_sleep(src: str):
+    return lint_rules.check_naked_sleep(ast.parse(src), "x.py")
+
+
+class TestSwallowedException:
+    def test_flags_bare_except(self):
+        (finding,) = swallowed("try:\n    f()\nexcept:\n    g()\n")
+        assert "bare" in finding[1]
+
+    def test_flags_except_exception_pass(self):
+        assert swallowed("try:\n    f()\nexcept Exception:\n    pass\n")
+        assert swallowed("try:\n    f()\nexcept BaseException:\n    ...\n")
+        assert swallowed(
+            "try:\n    f()\nexcept (ValueError, Exception):\n    pass\n"
+        )
+
+    def test_handled_broad_catch_is_fine(self):
+        # Converting / re-raising is the sanctioned pattern (the sweep
+        # runtime turns worker exceptions into WorkerError records).
+        assert not swallowed(
+            "try:\n    f()\nexcept Exception as err:\n    raise X() from err\n"
+        )
+        assert not swallowed(
+            "try:\n    f()\nexcept Exception as err:\n    out = str(err)\n"
+        )
+
+    def test_narrow_pass_is_fine(self):
+        assert not swallowed("try:\n    f()\nexcept OSError:\n    pass\n")
+
+
+class TestNakedSleep:
+    def test_flags_time_sleep_call(self):
+        (finding,) = naked_sleep("import time\ntime.sleep(1)\n")
+        assert "runtime.py" in finding[1]
+
+    def test_flags_from_import(self):
+        assert naked_sleep("from time import sleep\n")
+
+    def test_other_time_uses_are_fine(self):
+        assert not naked_sleep("import time\nt = time.perf_counter()\n")
+        assert not naked_sleep("from time import perf_counter\n")
+
+    def test_runtime_module_is_exempt(self):
+        path = lint_rules.REPO / "src/repro/experiments/runtime.py"
+        assert lint_rules.lint_file(path) == []
+
+
 class TestLintFile:
     def test_machine_package_may_mutate_private_state(self):
         path = lint_rules.REPO / "src/repro/machine/simulator.py"

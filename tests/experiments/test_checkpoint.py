@@ -1,0 +1,165 @@
+"""Unit tests for the sweep checkpoint journal (no worker pools)."""
+
+import json
+import math
+import os
+
+import pytest
+
+from repro.experiments.checkpoint import (
+    CheckpointJournal,
+    atomic_write_text,
+    grid_fingerprint,
+    record_from_json,
+    record_to_json,
+)
+from repro.experiments.sweep import SweepRecord
+from repro.machine.spec import CRAY_T3D, UNIT_MACHINE
+
+INF = float("inf")
+
+
+def rec(**kw) -> SweepRecord:
+    base = dict(
+        workload="lu-goodwin", procs=4, heuristic="rcp", fraction=0.5,
+        executable=True, capacity=100, min_mem=40, tot=200,
+        parallel_time=1.25, pt_increase=0.1, avg_maps=2.5,
+    )
+    base.update(kw)
+    return SweepRecord(**base)
+
+
+GRID = dict(
+    workloads=("lu-goodwin",), procs=(2, 4), heuristics=("rcp",),
+    fractions=(1.0, 0.5), reference="rcp", metrics=False, check=False,
+    analyze=False, engine="interpreted",
+)
+
+
+class TestAtomicWrite:
+    def test_writes_and_replaces(self, tmp_path):
+        target = tmp_path / "out.csv"
+        atomic_write_text(target, "one\n")
+        atomic_write_text(target, "two\n")
+        assert target.read_text() == "two\n"
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        atomic_write_text(tmp_path / "out.csv", "data\n")
+        assert os.listdir(tmp_path) == ["out.csv"]
+
+
+class TestFingerprint:
+    def test_stable(self):
+        assert grid_fingerprint(CRAY_T3D, **GRID) == grid_fingerprint(
+            CRAY_T3D, **GRID
+        )
+
+    @pytest.mark.parametrize(
+        "change",
+        [
+            {"workloads": ("chol15",)},
+            {"procs": (2,)},
+            {"heuristics": ("mpo",)},
+            {"fractions": (1.0,)},
+            {"reference": "self"},
+            {"metrics": True},
+            {"check": True},
+            {"analyze": True},
+            {"engine": "compiled"},
+        ],
+    )
+    def test_any_record_shaping_knob_changes_it(self, change):
+        base = grid_fingerprint(CRAY_T3D, **GRID)
+        assert grid_fingerprint(CRAY_T3D, **{**GRID, **change}) != base
+
+    def test_machine_spec_changes_it(self):
+        assert grid_fingerprint(CRAY_T3D, **GRID) != grid_fingerprint(
+            UNIT_MACHINE, **GRID
+        )
+
+
+class TestRecordJson:
+    def test_roundtrip_plain(self):
+        r = rec()
+        assert record_from_json(record_to_json(r)) == r
+
+    def test_roundtrip_inf_and_optionals(self):
+        r = rec(
+            executable=False, parallel_time=INF, pt_increase=INF,
+            avg_maps=INF, violations=INF, max_hwm=3.0,
+        )
+        back = record_from_json(record_to_json(r))
+        assert back == r and math.isinf(back.parallel_time)
+
+    def test_roundtrip_failure_fields(self):
+        r = rec(
+            executable=False, parallel_time=INF, pt_increase=INF,
+            avg_maps=INF, status="timeout", error="group exceeded 1s",
+            attempts=3, elapsed=4.25,
+        )
+        assert record_from_json(record_to_json(r)) == r
+
+    def test_json_is_line_safe(self):
+        # One record per JSONL line: the serialised form must not
+        # contain newlines.
+        assert "\n" not in json.dumps(record_to_json(rec()))
+
+
+class TestJournal:
+    def fp(self, **overrides):
+        return grid_fingerprint(CRAY_T3D, **{**GRID, **overrides})
+
+    def test_record_and_complete(self, tmp_path):
+        j = CheckpointJournal(tmp_path, self.fp())
+        j.start()
+        records = [rec(fraction=1.0), rec(fraction=0.5)]
+        j.record_group("lu-goodwin", 4, records)
+        done = CheckpointJournal(tmp_path, self.fp()).completed()
+        assert done == {("lu-goodwin", 4): records}
+
+    def test_stale_fingerprint_invalidates(self, tmp_path):
+        j = CheckpointJournal(tmp_path, self.fp())
+        j.start()
+        j.record_group("lu-goodwin", 4, [rec()])
+        other = CheckpointJournal(tmp_path, self.fp(procs=(2,)))
+        assert other.completed() == {}
+        other.start(resume=True)
+        assert other.stale
+        # the stale manifest was replaced; the old group is gone
+        assert CheckpointJournal(tmp_path, self.fp()).completed() == {}
+
+    def test_resume_keeps_matching_manifest(self, tmp_path):
+        j = CheckpointJournal(tmp_path, self.fp())
+        j.start()
+        j.record_group("lu-goodwin", 4, [rec()])
+        j2 = CheckpointJournal(tmp_path, self.fp())
+        j2.start(resume=True)
+        assert not j2.stale
+        assert ("lu-goodwin", 4) in j2.completed()
+
+    def test_fresh_start_resets(self, tmp_path):
+        j = CheckpointJournal(tmp_path, self.fp())
+        j.start()
+        j.record_group("lu-goodwin", 4, [rec()])
+        j2 = CheckpointJournal(tmp_path, self.fp())
+        j2.start(resume=False)
+        assert j2.completed() == {}
+
+    def test_truncated_shard_is_skipped(self, tmp_path):
+        j = CheckpointJournal(tmp_path, self.fp())
+        j.start()
+        j.record_group("lu-goodwin", 2, [rec(procs=2)])
+        j.record_group("lu-goodwin", 4, [rec(), rec(fraction=1.0)])
+        shard = tmp_path / "lu-goodwin_p4.jsonl"
+        shard.write_text(shard.read_text().splitlines()[0] + "\n")
+        done = j.completed()
+        # the torn group re-runs; the intact one replays
+        assert ("lu-goodwin", 4) not in done
+        assert ("lu-goodwin", 2) in done
+
+    def test_missing_manifest_is_empty(self, tmp_path):
+        assert CheckpointJournal(tmp_path, self.fp()).completed() == {}
+
+    def test_corrupt_manifest_is_empty(self, tmp_path):
+        (tmp_path / "MANIFEST.json").write_text("{ not json")
+        assert CheckpointJournal(tmp_path, self.fp()).completed() == {}

@@ -5,7 +5,17 @@ import math
 import pytest
 
 from repro.experiments import ExperimentContext
-from repro.experiments.sweep import FIELDS, from_csv, full_sweep, to_csv
+from repro.experiments.sweep import (
+    ANALYZE_FIELDS,
+    CHECK_FIELDS,
+    FAILURE_FIELDS,
+    FIELDS,
+    METRIC_FIELDS,
+    SweepRecord,
+    from_csv,
+    full_sweep,
+    to_csv,
+)
 
 
 @pytest.fixture(scope="module")
@@ -106,3 +116,94 @@ class TestCSV:
         to_csv(records, path=str(out))
         assert out.exists()
         assert len(from_csv(out.read_text())) == len(records)
+
+    def test_file_output_is_atomic_replace(self, records, tmp_path):
+        # Crash-safe writes go through a temp file + os.replace: the
+        # target is fully replaced and no droppings are left behind.
+        out = tmp_path / "sweep.csv"
+        out.write_text("stale partial content")
+        text = to_csv(records, path=str(out))
+        assert out.read_bytes() == text.encode()
+        assert [p.name for p in tmp_path.iterdir()] == ["sweep.csv"]
+
+
+INF = float("inf")
+
+
+def make_record(**kw) -> SweepRecord:
+    base = dict(
+        workload="lu-goodwin", procs=4, heuristic="rcp", fraction=0.5,
+        executable=True, capacity=100, min_mem=40, tot=200,
+        parallel_time=1.2345678901234567, pt_increase=0.1, avg_maps=2.5,
+    )
+    base.update(kw)
+    return SweepRecord(**base)
+
+
+#: One record per optional-column family, plus a non-executable row
+#: with ``inf`` everywhere — the building blocks of the combinations.
+OPTIONAL_VARIANTS = {
+    "metrics": dict(map_overhead_frac=0.01, max_hwm=12.0, max_suspq=3.0),
+    "metrics-inf": dict(map_overhead_frac=INF, max_hwm=INF, max_suspq=INF,
+                        executable=False, parallel_time=INF,
+                        pt_increase=INF, avg_maps=INF),
+    "check": dict(violations=0.0),
+    "analyze": dict(analysis_errors=2.0),
+    "failure": dict(executable=False, parallel_time=INF, pt_increase=INF,
+                    avg_maps=INF, capacity=0, min_mem=0, tot=0,
+                    status="crashed", error="worker process died, twice",
+                    attempts=3, elapsed=12.5),
+}
+
+
+class TestCSVOptionalColumnRoundTrips:
+    """Exact ``from_csv(to_csv(x)) == x`` across every optional-column
+    combination, including ``inf`` and empty cells."""
+
+    @pytest.mark.parametrize("variant", sorted(OPTIONAL_VARIANTS))
+    def test_single_family(self, variant):
+        recs = [make_record(), make_record(**OPTIONAL_VARIANTS[variant])]
+        assert from_csv(to_csv(recs)) == recs
+
+    def test_plain_records_omit_all_optional_columns(self):
+        text = to_csv([make_record()])
+        assert text.splitlines()[0] == ",".join(FIELDS)
+
+    @pytest.mark.parametrize(
+        ("families", "expected_fields"),
+        [
+            (("metrics",), FIELDS + METRIC_FIELDS),
+            (("check",), FIELDS + CHECK_FIELDS),
+            (("analyze",), FIELDS + ANALYZE_FIELDS),
+            (("failure",), FIELDS + FAILURE_FIELDS),
+            (("metrics", "check"), FIELDS + METRIC_FIELDS + CHECK_FIELDS),
+            (("metrics", "check", "analyze", "failure"),
+             FIELDS + METRIC_FIELDS + CHECK_FIELDS + ANALYZE_FIELDS
+             + FAILURE_FIELDS),
+            (("check", "failure"), FIELDS + CHECK_FIELDS + FAILURE_FIELDS),
+        ],
+    )
+    def test_header_matches_populated_families(self, families, expected_fields):
+        recs = [make_record()] + [
+            make_record(**OPTIONAL_VARIANTS[f]) for f in families
+        ]
+        text = to_csv(recs)
+        assert text.splitlines()[0] == ",".join(expected_fields)
+        assert from_csv(text) == recs
+
+    def test_mixed_rows_leave_empty_cells(self):
+        # A failure row in a metrics sweep has empty telemetry cells and
+        # vice versa; both sides must come back as None, not 0.
+        recs = [
+            make_record(**OPTIONAL_VARIANTS["metrics"]),
+            make_record(**OPTIONAL_VARIANTS["failure"]),
+        ]
+        back = from_csv(to_csv(recs))
+        assert back == recs
+        assert back[0].status is None and back[1].map_overhead_frac is None
+
+    def test_failure_types_survive(self):
+        (back,) = from_csv(to_csv([make_record(**OPTIONAL_VARIANTS["failure"])]))
+        assert isinstance(back.attempts, int)
+        assert isinstance(back.elapsed, float)
+        assert back.error == "worker process died, twice"

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Repo-specific AST lint rules (run in CI next to ruff).
 
-Three invariants of this codebase that generic linters cannot express:
+Five invariants of this codebase that generic linters cannot express:
 
 ``private-mutation``
     Outside ``src/repro/machine/``, no code may assign to, aug-assign
@@ -27,6 +27,21 @@ Three invariants of this codebase that generic linters cannot express:
     remove, and the benchmark's >=10x gate on the silent-dominated cell
     depends on it.  (Code *outside* the loops — setup and the return —
     may allocate freely.)
+
+``swallowed-exception``
+    Bare ``except:`` and ``except Exception/BaseException: pass`` are
+    forbidden everywhere.  The fault-tolerant sweep runtime records
+    failures as structured data (``CellFailure``/``WorkerError``);
+    silently swallowing an exception is how a harness loses exactly the
+    failure it exists to report.  Narrow handlers and handlers that do
+    something (convert, log, re-raise) are fine.
+
+``naked-sleep``
+    ``time.sleep`` is forbidden outside
+    ``src/repro/experiments/runtime.py``.  All waiting — retry backoff,
+    timeout polling, injected hangs — is centralised in the supervised
+    runtime so its determinism and budgets stay auditable; ad-hoc
+    sleeps elsewhere are latent flakes.
 
 Usage::
 
@@ -181,6 +196,75 @@ def check_compiled_hot_alloc(tree: ast.AST, path: str) -> list[tuple[int, str]]:
     return out
 
 
+#: The one module allowed to call ``time.sleep`` (the supervised sweep
+#: runtime centralises every wait: backoff, polling, injected hangs).
+RUNTIME_MODULE = pathlib.PurePosixPath("src/repro/experiments/runtime.py")
+
+_BROAD_EXC_NAMES = {"Exception", "BaseException"}
+
+
+def _is_noop_body(body: list[ast.stmt]) -> bool:
+    """True when a handler body does nothing: only ``pass`` / ``...``."""
+    return all(
+        isinstance(stmt, ast.Pass)
+        or (isinstance(stmt, ast.Expr)
+            and isinstance(stmt.value, ast.Constant)
+            and stmt.value.value is Ellipsis)
+        for stmt in body
+    )
+
+
+def check_swallowed_exception(tree: ast.AST, path: str) -> list[tuple[int, str]]:
+    """``swallowed-exception`` findings as ``(lineno, message)``."""
+    out: list[tuple[int, str]] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        if node.type is None:
+            out.append((
+                node.lineno,
+                "swallowed-exception: bare 'except:' — name the exception "
+                "types; failures must surface as structured data, not "
+                "vanish",
+            ))
+            continue
+        exc = node.type
+        broad = (
+            isinstance(exc, ast.Name) and exc.id in _BROAD_EXC_NAMES
+        ) or (
+            isinstance(exc, ast.Tuple)
+            and any(isinstance(e, ast.Name) and e.id in _BROAD_EXC_NAMES
+                    for e in exc.elts)
+        )
+        if broad and _is_noop_body(node.body):
+            out.append((
+                node.lineno,
+                "swallowed-exception: 'except Exception: pass' silently "
+                "discards the failure — handle it, convert it, or narrow "
+                "the type",
+            ))
+    return out
+
+
+def check_naked_sleep(tree: ast.AST, path: str) -> list[tuple[int, str]]:
+    """``naked-sleep`` findings as ``(lineno, message)``."""
+    out: list[tuple[int, str]] = []
+    msg = (
+        "naked-sleep: time.sleep outside experiments/runtime.py — waits "
+        "(backoff, polling) belong in the supervised sweep runtime"
+    )
+    for node in ast.walk(tree):
+        if (isinstance(node, ast.Attribute) and node.attr == "sleep"
+                and _receiver_name(node.value) == "time"):
+            out.append((node.lineno, msg))
+        elif isinstance(node, ast.ImportFrom):
+            if (node.module or "") == "time" and any(
+                alias.name == "sleep" for alias in node.names
+            ):
+                out.append((node.lineno, msg))
+    return out
+
+
 def lint_file(path: pathlib.Path, repo: pathlib.Path = REPO) -> list[str]:
     rel = pathlib.PurePosixPath(path.resolve().relative_to(repo).as_posix())
     try:
@@ -194,6 +278,9 @@ def lint_file(path: pathlib.Path, repo: pathlib.Path = REPO) -> list[str]:
         findings += check_wallclock_in_core(tree, str(rel))
     if _is_compiled_module(str(rel)):
         findings += check_compiled_hot_alloc(tree, str(rel))
+    findings += check_swallowed_exception(tree, str(rel))
+    if rel != RUNTIME_MODULE:
+        findings += check_naked_sleep(tree, str(rel))
     return [f"{rel}:{line}: {msg}" for line, msg in sorted(findings)]
 
 
