@@ -10,7 +10,7 @@ performance trajectory of the engine can be compared across PRs::
     PYTHONPATH=src python benchmarks/bench_sweep_engine.py
     PYTHONPATH=src python -m pytest benchmarks/bench_sweep_engine.py -q
 
-The JSON schema is ``repro-bench-sweep/6`` (see EXPERIMENTS.md for the
+The JSON schema is ``repro-bench-sweep/7`` (see EXPERIMENTS.md for the
 field-by-field description).  Infinities are serialised as the string
 ``"inf"``, matching the sweep CSV convention.  Version 2 adds the
 ``instrumentation`` section: the cost of the :mod:`repro.obs` telemetry
@@ -39,7 +39,12 @@ fault-tolerant supervised executor (:mod:`repro.experiments.runtime`)
 against the plain ``--jobs`` pool on the same fault-free grid —
 supervision (deadline tracking, completion polling, retry accounting)
 must cost at most ``RUNTIME_GATE_MAX_OVERHEAD`` of the plain parallel
-sweep, and the records and CSV bytes must be identical.
+sweep, and the records and CSV bytes must be identical.  Version 7
+adds the ``obs`` section: the same supervised sweep with the runtime
+trace enabled (``obs_dir=``, one JSONL shard per process, see
+``docs/observability.md``) against the untraced supervised run —
+tracing rides the same overhead budget, the records and CSV bytes must
+be identical, and the merged Perfetto document must be non-trivial.
 
 ``SEED_BASELINE`` holds reference timings of the pre-optimisation
 engine, measured back-to-back with the optimised engine on the same
@@ -469,6 +474,65 @@ def bench_runtime() -> dict:
     }
 
 
+#: Tracing-overhead repeats.  The runtime-trace comparison reuses
+#: ``RUNTIME_GRID``; three interleaved repeats keep the added benchmark
+#: time small while best-of still discards pool-startup noise.
+OBS_REPEATS = 3
+OBS_GATE_MAX_OVERHEAD = RUNTIME_GATE_MAX_OVERHEAD
+
+
+def bench_obs() -> dict:
+    """Runtime tracing cost on a supervised fault-free sweep.
+
+    Both sides run ``RUNTIME_GRID`` under the supervised executor with
+    the same worker count; the traced side adds ``obs_dir=`` (one
+    append-only JSONL shard per process, flushed per event).  Tracing
+    must ride the same acceptance budget as supervision itself
+    (``OBS_GATE_MAX_OVERHEAD``), the records and CSV bytes must be
+    identical to the untraced run, and the merged Perfetto document
+    built from the last traced repeat must contain events — an empty
+    trace would mean the emit sites silently rotted.
+    """
+    import tempfile
+
+    from repro.experiments.runtime import RuntimePolicy
+    from repro.obs import load_runtime_shards, merge_obs_dir
+
+    jobs = max(2, os.cpu_count() or 2)
+    best = {"plain": float("inf"), "traced": float("inf")}
+    outputs: dict[str, list[SweepRecord]] = {}
+    merged_events = trace_shards = 0
+    for _ in range(OBS_REPEATS):
+        kwargs = dict(RUNTIME_GRID, jobs=jobs, runtime=RuntimePolicy())
+        t0 = time.perf_counter()
+        outputs["plain"] = full_sweep(ExperimentContext(), **kwargs)
+        best["plain"] = min(best["plain"], time.perf_counter() - t0)
+        with tempfile.TemporaryDirectory() as tmp:
+            t0 = time.perf_counter()
+            outputs["traced"] = full_sweep(
+                ExperimentContext(), obs_dir=tmp, **kwargs
+            )
+            best["traced"] = min(best["traced"], time.perf_counter() - t0)
+            trace_shards = len(load_runtime_shards(tmp))
+            merged_events = len(merge_obs_dir(tmp)["traceEvents"])
+    identical = outputs["traced"] == outputs["plain"] and to_csv(
+        outputs["traced"]
+    ) == to_csv(outputs["plain"])
+    return {
+        "grid": {k: list(v) if isinstance(v, tuple) else v
+                 for k, v in RUNTIME_GRID.items()},
+        "jobs": jobs,
+        "repeats": OBS_REPEATS,
+        "gate_max_overhead": OBS_GATE_MAX_OVERHEAD,
+        "plain_s": round(best["plain"], 3),
+        "traced_s": round(best["traced"], 3),
+        "traced_vs_plain": round(best["traced"] / best["plain"], 3),
+        "identical_to_plain": identical,
+        "trace_shards": trace_shards,
+        "merged_events": merged_events,
+    }
+
+
 def bench_sweep() -> dict:
     """Serial sweep with per-cell timings, then the parallel executor;
     asserts the two produce identical records and CSV bytes."""
@@ -547,6 +611,7 @@ def run_benchmark(out_path: pathlib.Path = OUT_PATH) -> dict:
     analysis = bench_analysis()
     engines = bench_engines()
     runtime = bench_runtime()
+    obs = bench_obs()
     sweep = bench_sweep()
     seed = SEED_BASELINE
     comparison = {
@@ -560,7 +625,7 @@ def run_benchmark(out_path: pathlib.Path = OUT_PATH) -> dict:
             seed["single_run"][key]["best_run_s"] / single[key]["best_run_s"], 2
         )
     report = {
-        "schema": "repro-bench-sweep/6",
+        "schema": "repro-bench-sweep/7",
         "generated_utc": datetime.now(timezone.utc).isoformat(timespec="seconds"),
         "machine": {
             "python": platform.python_version(),
@@ -580,6 +645,7 @@ def run_benchmark(out_path: pathlib.Path = OUT_PATH) -> dict:
         "analysis": analysis,
         "engines": engines,
         "runtime": runtime,
+        "obs": obs,
         "sweep": sweep,
         "seed_baseline": seed,
         "speedup_vs_seed": comparison,
@@ -631,6 +697,15 @@ def test_sweep_engine_benchmark():
     rt = report["runtime"]
     assert rt["identical_to_plain"]
     assert rt["supervised_vs_plain"] < 1.25
+    # Runtime tracing on the same supervised sweep: the CSV must stay
+    # byte-identical (observability never shapes records), the merged
+    # Perfetto document must actually contain events, and the traced
+    # run rides the same loosened overhead bound.
+    ob = report["obs"]
+    assert ob["identical_to_plain"]
+    assert ob["merged_events"] > 0
+    assert ob["trace_shards"] >= 2  # supervisor + at least one worker
+    assert ob["traced_vs_plain"] < 1.25
     assert OUT_PATH.exists()
 
 
@@ -670,6 +745,12 @@ if __name__ == "__main__":
           f"x{rt['supervised_vs_plain']:.3f} "
           f"(gate <= {rt['gate_max_overhead']:.2f}x, "
           f"identical: {rt['identical_to_plain']})")
+    ob = report["obs"]
+    print(f"obs tracing    : plain {ob['plain_s']:.2f}s | "
+          f"traced {ob['traced_s']:.2f}s | "
+          f"x{ob['traced_vs_plain']:.3f} "
+          f"({ob['trace_shards']} shards, {ob['merged_events']} events, "
+          f"identical: {ob['identical_to_plain']})")
     for k, v in report["speedup_vs_seed"].items():
         print(f"{k:24s}: {v:.2f}x")
     print(f"wrote {OUT_PATH}")

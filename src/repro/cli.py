@@ -13,6 +13,8 @@ Usage::
     python -m repro sweep --check      # + invariant-violations column
     python -m repro sweep --jobs 4 --checkpoint ckpt/   # journal progress
     python -m repro sweep --jobs 4 --checkpoint ckpt/ --resume  # finish it
+    python -m repro sweep --jobs 4 --obs-dir obs/ --progress  # traced sweep
+    python -m repro obs merge --obs-dir obs/   # re-merge the sweep trace
     python -m repro trace --metrics metrics.json --trace-out trace.json \
         --report report.html           # one instrumented run, exported
     python -m repro check --seed 7     # conformance batch: invariants + oracle
@@ -366,6 +368,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "experiment",
         help="one of: " + ", ".join(EXPERIMENTS) + ", example, svg, list, all",
     )
+    parser.add_argument(
+        "action", nargs="?", default=None,
+        help="subcommand of 'obs' (currently: merge)",
+    )
     parser.add_argument("--app", choices=("cholesky", "lu"), default=None,
                         help="restrict comparison tables to one application")
     parser.add_argument("--procs", type=int, nargs="*", default=None,
@@ -447,13 +453,38 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="sweep: inject a deterministic harness fault "
                              "(kill/hang/error) into one group, for "
                              "resilience testing; repeatable")
+    parser.add_argument("--obs-dir", default=None, metavar="DIR",
+                        help="sweep: write runtime-trace shards to DIR and "
+                             "merge them into DIR/sweep_trace.json on exit "
+                             "(implies --supervised); obs merge: the "
+                             "directory to merge")
+    parser.add_argument("--progress", action="store_true",
+                        help="sweep: live stderr ticker (done/running/"
+                             "retrying/failed groups; implies --supervised)")
+    parser.add_argument("--engine-stats", action="store_true",
+                        help="sweep: add opt-in engine columns (engine_used, "
+                             "fallback_reason) to the CSV")
     args = parser.parse_args(argv)
+
+    if args.experiment == "obs":
+        if args.action != "merge":
+            print("usage: repro obs merge --obs-dir DIR [--trace-out PATH]",
+                  file=sys.stderr)
+            return 2
+        if not args.obs_dir:
+            print("repro obs merge requires --obs-dir DIR", file=sys.stderr)
+            return 2
+        from .obs.sweep_trace import write_sweep_trace
+
+        path = write_sweep_trace(args.obs_dir, args.trace_out)
+        print(f"wrote {path} (open at ui.perfetto.dev)")
+        return 0
 
     if args.experiment == "list":
         print("\n".join(
             EXPERIMENTS
             + ("example", "svg", "sweep", "trace", "check", "analyze",
-               "validate")
+               "validate", "obs merge")
         ))
         return 0
     if args.experiment == "trace":
@@ -477,13 +508,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0 if all(c.passed for c in claims) else 1
     if args.experiment == "sweep":
         import pathlib
+        from time import monotonic
 
         from .experiments.sweep import full_sweep, to_csv
+        from .obs.runtime import format_summary, status_counts
 
         supervise = bool(
             args.supervised or args.checkpoint or args.resume
             or args.timeout is not None or args.retries is not None
-            or args.harness_fault
+            or args.harness_fault or args.obs_dir or args.progress
         )
         runtime = harness_faults = None
         if supervise:
@@ -506,6 +539,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         sweep_kw = {}
         if args.workloads:
             sweep_kw["workloads"] = tuple(args.workloads)
+        t0 = monotonic()
         records = full_sweep(
             ctx,
             procs=tuple(args.procs) if args.procs else (2, 4, 8, 16, 32),
@@ -514,17 +548,32 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             check=args.check,
             analyze=args.analyze,
             engine=args.engine,
+            engine_stats=args.engine_stats,
             runtime=runtime,
             checkpoint=args.checkpoint,
             resume=args.resume,
             harness_faults=harness_faults,
+            obs_dir=args.obs_dir,
+            progress=args.progress,
             **sweep_kw,
         )
+        elapsed = monotonic() - t0
         out = pathlib.Path(args.out)
         target = out / "sweep.csv" if out.is_dir() or not out.suffix else out
         target.parent.mkdir(parents=True, exist_ok=True)
         to_csv(records, path=str(target))
         print(f"wrote {target} ({len(records)} records)")
+        if args.obs_dir:
+            from .obs.sweep_trace import write_sweep_trace
+
+            merged = write_sweep_trace(args.obs_dir)
+            print(f"wrote {merged} (open at ui.perfetto.dev)")
+        if not args.progress:
+            # One-line wall-clock + per-status summary; --progress runs
+            # already printed the identical line via the ticker's
+            # sweep_end handler (same helpers, one source of truth).
+            print(format_summary(status_counts(records), elapsed),
+                  file=sys.stderr)
         failed = sorted({
             (r.workload, r.procs, r.status)
             for r in records if r.status is not None

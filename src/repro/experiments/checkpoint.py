@@ -91,12 +91,20 @@ def grid_fingerprint(
     check: bool,
     analyze: bool,
     engine: str,
+    engine_stats: bool = False,
+    harness_faults=None,
 ) -> str:
     """Content hash of everything that shapes a sweep's records.
 
     Two sweeps share a checkpoint iff their fingerprints match; ``jobs``
     and the runtime policy are deliberately excluded (they change how
     the grid is executed, never what a cell's record contains).
+    ``engine_stats`` shapes records (it fills the opt-in engine
+    columns), and ``harness_faults`` (a
+    :class:`~repro.experiments.runtime.HarnessFaultSpec` or ``None``)
+    shapes them too — an injected fault can turn a group into failure
+    rows, which must never be replayed into a fault-free run (nor a
+    fault-free journal into a faulted one).
     """
     doc = {
         "schema": SCHEMA,
@@ -110,6 +118,10 @@ def grid_fingerprint(
         "check": bool(check),
         "analyze": bool(analyze),
         "engine": engine,
+        "engine_stats": bool(engine_stats),
+        "harness_faults": (
+            repr(harness_faults) if harness_faults is not None else None
+        ),
     }
     blob = json.dumps(doc, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode()).hexdigest()

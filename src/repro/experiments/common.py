@@ -73,6 +73,12 @@ class CellMetrics:
     #: fields, non-executable cells get a real count (at least the SA101
     #: finding) — the analyzer needs no simulation.
     analysis_errors: Optional[float] = None
+    #: Engine introspection (``collect_engine=True``): which engine
+    #: actually executed the cell and, for a requested-compiled cell
+    #: that ran interpreted, the fallback reason.  Non-executable cells
+    #: stay ``None`` — nothing ran.
+    engine_used: Optional[str] = None
+    fallback_reason: Optional[str] = None
 
     @property
     def pt_increase_pct(self) -> float:
@@ -257,6 +263,7 @@ class ExperimentContext:
         collect_check: bool = False,
         collect_analysis: bool = False,
         engine: str = "interpreted",
+        collect_engine: bool = False,
     ) -> CellMetrics:
         """Measure one table cell.
 
@@ -277,6 +284,13 @@ class ExperimentContext:
         :class:`~repro.machine.simulator.Simulator`); metric/check cells
         are observed runs and therefore fall back to the interpreted
         engine regardless of the requested value.
+
+        ``collect_engine=True`` records which engine actually executed
+        the cell (``engine_used``) and the fallback reason of a
+        requested-compiled cell that ran interpreted
+        (``fallback_reason``); it reads the cached
+        :class:`~repro.machine.simulator.SimResult` and never changes
+        what runs.
         """
         tot = (
             self.reference_tot(key, p)
@@ -339,7 +353,21 @@ class ExperimentContext:
                 self.analysis_errors(key, p, heuristic, capacity, cap_arg)
                 if collect_analysis else None
             ),
+            engine_used=res.engine if collect_engine else None,
+            fallback_reason=res.fallback_reason if collect_engine else None,
         )
+
+    def engine_counters(self) -> dict:
+        """Aggregated engine introspection counters over every compiled
+        schedule this context holds (see
+        :data:`~repro.machine.simulator.ENGINE_COUNTER_KEYS`): MAP-plan /
+        lowering / ExecPlan cache hits and misses, phase timers, run
+        counts per engine and ``fallback:<reason>`` tallies."""
+        totals: dict = {}
+        for cs in self._compiled.values():
+            for k, v in cs.counters.items():
+                totals[k] = totals.get(k, 0) + v
+        return totals
 
 
 def compare_pt(a: CellMetrics, b: CellMetrics) -> float | str:

@@ -40,9 +40,18 @@ kills the worker, raises an injected exception, or sleeps past the
 timeout in chosen groups and attempts, driving the kill/hang/resume
 tests and the CI resilience job.
 
+Every supervision decision can be traced: ``run_supervised`` accepts a
+duck-typed ``tracer`` sink (``.emit(kind, group=..., attempt=...,
+**fields)`` — see :mod:`repro.obs.runtime`) and an ``obs_dir`` that
+workers use to open their own per-process JSONL shards.  Both default
+to ``None`` and every emit site is ``is None``-guarded, so an
+unobserved sweep takes zero extra syscalls on the hot path.
+
 This module is the one place in the repository allowed to call
 ``time.sleep`` (enforced by ``tools/lint_rules.py``): all waiting —
-backoff, timeout polling — is centralised here.
+backoff, timeout polling — is centralised here.  It shares the wall
+clock exemption of :mod:`repro.obs` (lint rule ``wallclock-span``);
+everything else times spans with the monotonic clock.
 """
 
 from __future__ import annotations
@@ -200,23 +209,72 @@ class _Group:
         self.first_submit: Optional[float] = None
 
 
+#: Lazily created per-worker-process tracer (reused across groups so a
+#: surviving worker keeps appending to its own shard).
+_WORKER_TRACER = None
+
+
+def _worker_tracer(obs_dir):
+    global _WORKER_TRACER
+    from ..obs.runtime import RuntimeTracer
+
+    if _WORKER_TRACER is None or str(_WORKER_TRACER.dir) != str(obs_dir):
+        _WORKER_TRACER = RuntimeTracer(obs_dir, role="worker")
+    return _WORKER_TRACER
+
+
 def _supervised_entry(payload):
     """Worker-side entry point: apply harness faults, run the group,
-    and convert any exception into a picklable :class:`WorkerError`."""
-    key, attempt, faults, args = payload
+    and convert any exception into a picklable :class:`WorkerError`.
+
+    With an ``obs_dir`` the attempt is bracketed by ``attempt_start`` /
+    ``attempt_finish`` events in the worker's own shard (the start event
+    survives a SIGKILL mid-group), and the per-attempt delta of the
+    engine introspection counters is emitted as ``engine_counters``.
+    """
+    key, attempt, faults, obs_dir, args = payload
+    tracer = _worker_tracer(obs_dir) if obs_dir is not None else None
+    if tracer is not None:
+        tracer.emit("attempt_start", group=key, attempt=attempt)
     if faults is not None:
         faults.apply(key, attempt)
     from ..errors import ReproError
-    from .sweep import _worker_run_group
+    from .sweep import _worker_engine_counters, _worker_run_group
 
+    t0 = time.monotonic()
+    before = _worker_engine_counters() if tracer is not None else {}
     try:
-        return _worker_run_group(args)
+        records = _worker_run_group(args)
     except Exception as err:
+        if tracer is not None:
+            tracer.emit(
+                "attempt_finish", group=key, attempt=attempt,
+                status="error", dur=round(time.monotonic() - t0, 6),
+                error=f"{type(err).__name__}: {err}",
+            )
         return WorkerError(
             kind=type(err).__name__,
             message=str(err),
             retryable=not isinstance(err, ReproError),
         )
+    if tracer is not None:
+        tracer.emit(
+            "attempt_finish", group=key, attempt=attempt,
+            status="ok", dur=round(time.monotonic() - t0, 6),
+            records=len(records),
+        )
+        after = _worker_engine_counters()
+        delta = {
+            k: round(v - before.get(k, 0), 6)
+            for k, v in after.items()
+            if v - before.get(k, 0)
+        }
+        if delta:
+            tracer.emit(
+                "engine_counters", group=key, attempt=attempt,
+                counters=delta,
+            )
+    return records
 
 
 def _kill_pool(pool: ProcessPoolExecutor) -> None:
@@ -238,17 +296,32 @@ def run_supervised(
     policy: Optional[RuntimePolicy] = None,
     faults: Optional[HarnessFaultSpec] = None,
     on_complete: Optional[Callable[[GroupKey, list], None]] = None,
+    tracer=None,
+    obs_dir=None,
 ) -> list:
     """Execute ``tasks`` (``(key, worker_args)`` pairs) under
     supervision; returns one entry per task, aligned by index — either
     the group's record list or a :class:`CellFailure`.
 
     ``on_complete(key, records)`` fires in the supervisor as each group
-    finishes successfully (the checkpoint-journal hook).
+    finishes successfully (the checkpoint-journal hook).  ``tracer``
+    receives the supervisor's decision events (dispatch / retry /
+    timeout / pool teardown / quarantine / failure / completion);
+    ``obs_dir`` makes the workers write their own attempt shards.
     """
     policy = policy or RuntimePolicy()
     if not tasks:
         return []
+
+    def emit(kind: str, st: Optional[_Group] = None,
+             attempt: Optional[int] = None, **fields) -> None:
+        if tracer is not None:
+            tracer.emit(
+                kind,
+                group=st.key if st is not None else None,
+                attempt=attempt,
+                **fields,
+            )
     states = [_Group(i, key, args) for i, (key, args) in enumerate(tasks)]
     results: list = [None] * len(states)
     ready = deque(states)
@@ -270,10 +343,12 @@ def run_supervised(
         nonlocal seq
         if retryable and st.attempts < policy.max_attempts:
             delay = policy.backoff_s(st.key, st.attempts)
+            emit("retry", st, attempt=st.attempts, status=status,
+                 delay=round(delay, 6), error=message)
             seq += 1
             heapq.heappush(sleeping, (time.monotonic() + delay, seq, st))
             return
-        results[st.index] = CellFailure(
+        failure = CellFailure(
             workload=st.key[0],
             procs=st.key[1],
             status=status,
@@ -281,6 +356,9 @@ def run_supervised(
             attempts=st.attempts,
             elapsed=round(time.monotonic() - (st.first_submit or 0.0), 3),
         )
+        emit("cell_failure", st, attempt=st.attempts, status=status,
+             error=message, elapsed=failure.elapsed)
+        results[st.index] = failure
 
     pool = new_pool()
     inflight: dict = {}
@@ -290,8 +368,11 @@ def run_supervised(
         if st.first_submit is None:
             st.first_submit = now
         st.deadline = None if policy.timeout is None else now + policy.timeout
+        emit("dispatch", st, attempt=st.attempts + 1,
+             timeout=policy.timeout)
         fut = pool.submit(
-            _supervised_entry, (st.key, st.attempts + 1, faults, st.args)
+            _supervised_entry,
+            (st.key, st.attempts + 1, faults, obs_dir, st.args),
         )
         inflight[fut] = st
 
@@ -333,6 +414,8 @@ def run_supervised(
                         )
                     else:
                         results[st.index] = payload
+                        emit("group_done", st, attempt=st.attempts,
+                             records=len(payload))
                         if on_complete is not None:
                             on_complete(st.key, payload)
                 elif isinstance(exc, BrokenProcessPool):
@@ -350,6 +433,7 @@ def run_supervised(
                 # break identifies its culprit.
                 involved = broken + list(inflight.values())
                 inflight.clear()
+                emit("pool_broken", involved=len(involved))
                 if len(involved) == 1:
                     st = involved[0]
                     st.attempts += 1
@@ -358,6 +442,8 @@ def run_supervised(
                         True,
                     )
                 else:
+                    for st in involved:
+                        emit("crash_quarantine", st, attempt=st.attempts + 1)
                     quarantine.extend(involved)
                 pool.shutdown(wait=False, cancel_futures=True)
                 pool = new_pool()
@@ -374,6 +460,8 @@ def run_supervised(
                 # for free, and resurrect.
                 for st in expired:
                     st.attempts += 1
+                    emit("timeout", st, attempt=st.attempts,
+                         budget=policy.timeout)
                     retry_or_fail(
                         st, "timeout",
                         f"group exceeded {policy.timeout:g}s wall-clock",
@@ -382,6 +470,10 @@ def run_supervised(
                 bystanders = [
                     st for st in inflight.values() if st not in expired
                 ]
+                emit("pool_kill", expired=len(expired),
+                     bystanders=len(bystanders))
+                for st in bystanders:
+                    emit("requeue", st, attempt=st.attempts + 1)
                 ready.extendleft(reversed(bystanders))
                 inflight.clear()
                 _kill_pool(pool)

@@ -68,6 +68,11 @@ CHECK_FIELDS = ("violations",)
 #: ``analyze=True`` (opt-in, same contract).
 ANALYZE_FIELDS = ("analysis_errors",)
 
+#: Engine introspection columns appended when the sweep ran with
+#: ``engine_stats=True`` (opt-in, same contract): which engine actually
+#: executed each cell and why a requested-compiled cell fell back.
+ENGINE_FIELDS = ("engine_used", "fallback_reason")
+
 #: Failure columns appended when a *supervised* sweep recorded at least
 #: one :class:`~repro.experiments.runtime.CellFailure` (opt-in, same
 #: contract — a fault-free supervised sweep's CSV is byte-identical to
@@ -96,6 +101,11 @@ class SweepRecord:
     violations: Optional[float] = None
     #: populated only by ``full_sweep(..., analyze=True)``
     analysis_errors: Optional[float] = None
+    #: populated only by ``full_sweep(..., engine_stats=True)``:
+    #: the engine that executed the cell and the fallback reason of a
+    #: requested-compiled cell that ran interpreted (empty otherwise)
+    engine_used: Optional[str] = None
+    fallback_reason: Optional[str] = None
     #: failure columns, populated only on cells of a group that a
     #: supervised sweep recorded as failed (``"timeout"``/``"crashed"``/
     #: ``"error"``; see :mod:`repro.experiments.runtime`)
@@ -116,6 +126,7 @@ def _run_group(
     check: bool = False,
     analyze: bool = False,
     engine: str = "interpreted",
+    engine_stats: bool = False,
 ) -> list[SweepRecord]:
     """All records of one (workload, procs) group, in grid order."""
     out: list[SweepRecord] = []
@@ -124,6 +135,7 @@ def _run_group(
             cell = ctx.run_cell(
                 key, p, h, f, reference=reference, collect_metrics=metrics,
                 collect_check=check, collect_analysis=analyze, engine=engine,
+                collect_engine=engine_stats,
             )
             out.append(
                 SweepRecord(
@@ -143,6 +155,8 @@ def _run_group(
                     max_suspq=cell.max_suspq,
                     violations=cell.violations,
                     analysis_errors=cell.analysis_errors,
+                    engine_used=cell.engine_used,
+                    fallback_reason=cell.fallback_reason,
                 )
             )
     return out
@@ -166,12 +180,19 @@ def _worker_init(spec, registered) -> None:
 
 def _worker_run_group(args) -> list[SweepRecord]:
     (key, p, heuristics, fractions, reference, metrics, check, analyze,
-     engine) = args
+     engine, engine_stats) = args
     assert _WORKER_CTX is not None
     return _run_group(
         _WORKER_CTX, key, p, heuristics, fractions, reference, metrics, check,
-        analyze, engine,
+        analyze, engine, engine_stats,
     )
+
+
+def _worker_engine_counters() -> dict:
+    """Aggregated engine introspection counters of this worker's
+    context (empty before :func:`_worker_init` ran); the supervised
+    entry point emits per-attempt deltas into the runtime trace."""
+    return _WORKER_CTX.engine_counters() if _WORKER_CTX is not None else {}
 
 
 def _failure_records(
@@ -219,10 +240,13 @@ def full_sweep(
     check: bool = False,
     analyze: bool = False,
     engine: str = "interpreted",
+    engine_stats: bool = False,
     runtime=None,
     checkpoint: Optional[str] = None,
     resume: bool = False,
     harness_faults=None,
+    obs_dir: Optional[str] = None,
+    progress: bool = False,
 ) -> list[SweepRecord]:
     """Run the full grid; non-executable cells get ``inf`` metrics.
 
@@ -270,12 +294,23 @@ def full_sweep(
     ``resume=True`` replays groups already committed to the
     ``checkpoint`` journal and executes only the remainder, so a resumed
     run's CSV is byte-identical to an uninterrupted one.
+
+    ``engine_stats=True`` fills the opt-in :data:`ENGINE_FIELDS`
+    columns (which engine executed each cell and the fallback reason of
+    a requested-compiled cell that ran interpreted).
+
+    ``obs_dir`` (a directory path) makes the run *observed*: the
+    supervisor and every worker append runtime-trace shards there
+    (schema ``repro-runtime-trace/1``; see :mod:`repro.obs.runtime`),
+    and ``progress=True`` drives a live stderr ticker from the same
+    event stream.  Either implies the supervised executor; both default
+    off, leaving the plain path untouched.
     """
     if not jobs or jobs < 0:
         jobs = os.cpu_count() or 1
     supervised = (
         runtime is not None or checkpoint is not None or resume
-        or harness_faults is not None
+        or harness_faults is not None or obs_dir is not None or progress
     )
     if resume and checkpoint is None:
         raise ValueError("resume=True requires a checkpoint directory")
@@ -286,13 +321,13 @@ def full_sweep(
             out.extend(
                 _run_group(
                     ctx, key, p, heuristics, fractions, reference, metrics,
-                    check, analyze, engine,
+                    check, analyze, engine, engine_stats,
                 )
             )
         return out
     tasks = [
         (key, p, tuple(heuristics), tuple(fractions), reference, metrics,
-         check, analyze, engine)
+         check, analyze, engine, engine_stats)
         for key, p in groups
     ]
     registered = ctx.shipped_problems(workloads)
@@ -307,6 +342,21 @@ def full_sweep(
 
     from .runtime import CellFailure, run_supervised
 
+    tracer = None
+    t_begin = None
+    if obs_dir is not None or progress:
+        from time import monotonic
+
+        from ..obs.runtime import MultiSink, RuntimeTracer, SweepProgress
+
+        t_begin = monotonic()
+        sinks: list = []
+        if obs_dir is not None:
+            sinks.append(RuntimeTracer(obs_dir, role="supervisor"))
+        if progress:
+            sinks.append(SweepProgress(total=len(groups)))
+        tracer = sinks[0] if len(sinks) == 1 else MultiSink(sinks)
+
     journal = None
     done: dict[tuple[str, int], list[SweepRecord]] = {}
     if checkpoint is not None:
@@ -317,6 +367,7 @@ def full_sweep(
             grid_fingerprint(
                 ctx.spec, workloads, procs, heuristics, fractions, reference,
                 metrics, check, analyze, engine,
+                engine_stats=engine_stats, harness_faults=harness_faults,
             ),
         )
         journal.start(resume=resume)
@@ -327,29 +378,53 @@ def full_sweep(
         for (key, p), task in zip(groups, tasks)
         if (key, p) not in done
     ]
-    outcomes = run_supervised(
-        todo,
-        jobs=jobs,
-        initializer=_worker_init,
-        initargs=(ctx.spec, registered),
-        policy=runtime,
-        faults=harness_faults,
-        on_complete=(
-            (lambda key, records: journal.record_group(key[0], key[1], records))
-            if journal is not None else None
-        ),
-    )
-    fresh = {key: outcome for (key, _), outcome in zip(todo, outcomes)}
-    out = []
-    for key, p in groups:
-        result = done.get((key, p))
-        if result is None:
-            result = fresh[(key, p)]
-        if isinstance(result, CellFailure):
-            out.extend(_failure_records(result, heuristics, fractions))
-        else:
-            out.extend(result)
-    return out
+
+    def on_group(key, records) -> None:
+        if journal is not None:
+            journal.record_group(key[0], key[1], records)
+            if tracer is not None:
+                tracer.emit("checkpoint_shard", group=key,
+                            records=len(records))
+
+    try:
+        if tracer is not None:
+            tracer.emit("sweep_begin", groups=len(groups), todo=len(todo),
+                        resumed=len(done), jobs=jobs)
+            for key in done:
+                tracer.emit("resume_hit", group=key,
+                            records=len(done[key]))
+        outcomes = run_supervised(
+            todo,
+            jobs=jobs,
+            initializer=_worker_init,
+            initargs=(ctx.spec, registered),
+            policy=runtime,
+            faults=harness_faults,
+            on_complete=on_group if journal is not None else None,
+            tracer=tracer,
+            obs_dir=obs_dir,
+        )
+        fresh = {key: outcome for (key, _), outcome in zip(todo, outcomes)}
+        out = []
+        for key, p in groups:
+            result = done.get((key, p))
+            if result is None:
+                result = fresh[(key, p)]
+            if isinstance(result, CellFailure):
+                out.extend(_failure_records(result, heuristics, fractions))
+            else:
+                out.extend(result)
+        if tracer is not None:
+            from time import monotonic
+
+            from ..obs.runtime import status_counts
+
+            tracer.emit("sweep_end", counts=status_counts(out),
+                        elapsed=round(monotonic() - t_begin, 3))
+        return out
+    finally:
+        if tracer is not None:
+            tracer.close()
 
 
 def to_csv(records: Iterable[SweepRecord], path: Optional[str] = None) -> str:
@@ -358,8 +433,9 @@ def to_csv(records: Iterable[SweepRecord], path: Optional[str] = None) -> str:
     The telemetry columns of :data:`METRIC_FIELDS` appear only when some
     record carries them (i.e. the sweep ran with ``metrics=True``), the
     ``violations`` column only when the sweep ran with ``check=True``,
-    and the :data:`FAILURE_FIELDS` only when a supervised sweep recorded
-    a failure; without them the output is byte-identical to a plain
+    the :data:`ENGINE_FIELDS` only with ``engine_stats=True``, and the
+    :data:`FAILURE_FIELDS` only when a supervised sweep recorded a
+    failure; without them the output is byte-identical to a plain
     sweep's CSV.
 
     Writing is crash-safe: the text goes to a same-directory temporary
@@ -373,6 +449,8 @@ def to_csv(records: Iterable[SweepRecord], path: Optional[str] = None) -> str:
         fields = fields + CHECK_FIELDS
     if any(r.analysis_errors is not None for r in records):
         fields = fields + ANALYZE_FIELDS
+    if any(r.engine_used is not None for r in records):
+        fields = fields + ENGINE_FIELDS
     if any(r.status is not None for r in records):
         fields = fields + FAILURE_FIELDS
     buf = io.StringIO()
@@ -429,6 +507,8 @@ def from_csv(text: str) -> list[SweepRecord]:
                 max_suspq=opt("max_suspq"),
                 violations=opt("violations"),
                 analysis_errors=opt("analysis_errors"),
+                engine_used=opt_str("engine_used"),
+                fallback_reason=opt_str("fallback_reason"),
                 status=opt_str("status"),
                 error=opt_str("error"),
                 attempts=int(attempts) if attempts not in (None, "") else None,

@@ -104,6 +104,7 @@ lowering.
 from __future__ import annotations
 
 import heapq
+from time import perf_counter
 from typing import Optional
 
 import numpy as np
@@ -208,7 +209,10 @@ def lower_schedule(cs) -> LoweredSchedule:
     """Lower ``cs`` to the dense IR; memoised as ``cs._lowered``."""
     cs.check_fresh()
     if cs._lowered is not None:
+        cs.counters["lower_hits"] += 1
         return cs._lowered
+    cs.counters["lower_misses"] += 1
+    _t0_lower = perf_counter()
 
     g, sched = cs.graph, cs.schedule
     nprocs = cs.num_procs
@@ -459,6 +463,7 @@ def lower_schedule(cs) -> LoweredSchedule:
     ]
     lo.perm_bytes = list(cs.perm_bytes)
 
+    cs.counters["lower_s"] += perf_counter() - _t0_lower
     cs._lowered = lo
     return lo
 
@@ -500,7 +505,10 @@ def get_exec_plan(
     key = (capacity, spec, memory_managed, preknown)
     ep = cs._exec_plans.get(key)
     if ep is not None:
+        cs.counters["exec_plan_hits"] += 1
         return ep
+    cs.counters["exec_plan_misses"] += 1
+    _t0_plan = perf_counter()
     lo = lower_schedule(cs)
     nprocs = lo.num_procs
     plan = cs.plan_for(capacity) if memory_managed else None
@@ -613,6 +621,7 @@ def get_exec_plan(
     ep.pkg_src_l, ep.pkg_dst_l = pkg_src_l, pkg_dst_l
     ep.pkg_cost_l, ep.pkg_objs = pkg_cost_l, pkg_objs
     ep.pkg_ak_ptr_l, ep.pkg_ak_l = pkg_ak_ptr_l, pkg_ak_l
+    cs.counters["exec_plan_s"] += perf_counter() - _t0_plan
     cs._exec_plans[key] = ep
     return ep
 

@@ -113,6 +113,7 @@ from __future__ import annotations
 import heapq
 from dataclasses import dataclass
 from enum import Enum
+from time import perf_counter
 from typing import Optional
 
 from ..core.liveness import MemoryProfile, analyze_memory
@@ -129,6 +130,7 @@ from .spec import CRAY_T3D, MachineSpec
 
 __all__ = [
     "CompiledSchedule",
+    "ENGINE_COUNTER_KEYS",
     "ProcessorStats",
     "ProcState",
     "SimResult",
@@ -153,6 +155,19 @@ _TASK_DONE = 0
 _DATA_ARRIVE = 1
 _ADDR_ARRIVE = 2
 _SLOT_FREE = 3
+
+#: Always-present keys of :attr:`CompiledSchedule.counters` (the
+#: ``fallback:<reason>`` tallies appear on first use).  ``*_s`` keys
+#: are :func:`time.perf_counter` phase timers in seconds; the
+#: ``exec_plan_s`` miss timer *includes* any first-call lowering /
+#: MAP-planning it triggers (subtract ``lower_s`` / ``plan_s`` for the
+#: exclusive cost).
+ENGINE_COUNTER_KEYS = (
+    "plan_hits", "plan_misses", "plan_s",
+    "lower_hits", "lower_misses", "lower_s",
+    "exec_plan_hits", "exec_plan_misses", "exec_plan_s",
+    "compiled_runs", "exec_s", "interpreted_runs",
+)
 
 
 @dataclass
@@ -204,6 +219,11 @@ class SimResult:
     #: ``"compiled"`` (a requested-compiled run that fell back to the
     #: interpreted engine records ``"interpreted"``).
     engine: str = "interpreted"
+    #: Why a requested-compiled run fell back to the interpreted engine
+    #: (``"metrics"``, ``"trace"``, ``"instrument"``, ``"faults"``,
+    #: ``"caller-plan"``, ``"negative-cost"``); ``None`` when no
+    #: fallback happened.
+    fallback_reason: Optional[str] = None
 
     def render_trace(self, limit: Optional[int] = 200) -> str:
         """Human-readable event log (requires ``trace=True``).
@@ -310,6 +330,13 @@ class CompiledSchedule:
         self._exec_plans: dict[tuple, object] = {}
         #: lowered dense-array IR (shared by every execution plan).
         self._lowered: Optional[object] = None
+        #: engine introspection counters: cache hits/misses and phase
+        #: timers for the MAP-plan / lowering / ExecPlan caches, run
+        #: counts per engine and ``fallback:<reason>`` tallies.  Updated
+        #: only at cache-lookup boundaries and run entry — never inside
+        #: the execution hot loops.
+        self.counters: dict = {k: 0.0 if k.endswith("_s") else 0
+                               for k in ENGINE_COUNTER_KEYS}
         self._compile()
         self._fingerprint = self._schedule_fingerprint()
 
@@ -489,8 +516,13 @@ class CompiledSchedule:
         self.check_fresh()
         plan = self._plans.get(capacity)
         if plan is None:
+            self.counters["plan_misses"] += 1
+            t0 = perf_counter()
             plan = plan_maps(self.schedule, capacity, self.profile)
+            self.counters["plan_s"] += perf_counter() - t0
             self._plans[capacity] = plan
+        else:
+            self.counters["plan_hits"] += 1
         return plan
 
 
@@ -637,8 +669,8 @@ class Simulator:
     # dynamic execution
     # ------------------------------------------------------------------
 
-    def _compiled_engine_eligible(self) -> bool:
-        """True when this run can use the array-compiled engine.
+    def _compiled_fallback_reason(self) -> Optional[str]:
+        """Why this run cannot use the array-compiled engine (or None).
 
         Observation (metrics/trace/instrument) and fault injection hook
         into per-event callbacks the compiled engine deliberately does
@@ -646,17 +678,21 @@ class Simulator:
         ``plan_for`` cache the execution plans are lowered from; and
         negative cost parameters break the causality invariant the
         inline-completion rule relies on.  All of these fall back to
-        the interpreted oracle explicitly."""
-        if self.metrics_enabled or self.trace_enabled:
-            return False
+        the interpreted oracle explicitly; the reason string is tallied
+        in :attr:`CompiledSchedule.counters` (``fallback:<reason>``)
+        and recorded on :attr:`SimResult.fallback_reason`."""
+        if self.metrics_enabled:
+            return "metrics"
+        if self.trace_enabled:
+            return "trace"
         if self.instrument is not None and self.instrument.enabled:
-            return False
+            return "instrument"
         if self.faults is not None and self.faults.active:
-            return False
+            return "faults"
         if self.memory_managed and self.plan is not self.compiled._plans.get(
             self.capacity
         ):
-            return False
+            return "caller-plan"
         spec = self.spec
         costs = (
             spec.put_latency, spec.byte_time, spec.send_overhead,
@@ -664,14 +700,32 @@ class Simulator:
             spec.package_overhead, spec.address_cost, spec.ra_cost,
         )
         if min(costs) < 0:
-            return False
-        return True
+            return "negative-cost"
+        return None
+
+    def _compiled_engine_eligible(self) -> bool:
+        """True when this run can use the array-compiled engine."""
+        return self._compiled_fallback_reason() is None
 
     def run(self) -> SimResult:
-        if self.engine != "interpreted" and self._compiled_engine_eligible():
-            from .compiled import run_compiled
+        counters = self.compiled.counters
+        if self.engine != "interpreted":
+            reason = self._compiled_fallback_reason()
+            if reason is None:
+                from .compiled import run_compiled
 
-            return run_compiled(self)
+                counters["compiled_runs"] += 1
+                t0 = perf_counter()
+                res = run_compiled(self)
+                counters["exec_s"] += perf_counter() - t0
+                return res
+            key = "fallback:" + reason
+            counters[key] = counters.get(key, 0) + 1
+            counters["interpreted_runs"] += 1
+            res = self._run_interpreted()
+            res.fallback_reason = reason
+            return res
+        counters["interpreted_runs"] += 1
         return self._run_interpreted()
 
     def _run_interpreted(self) -> SimResult:

@@ -20,7 +20,7 @@ Quick use::
 See ``docs/observability.md`` for the event taxonomy and formats.
 """
 
-from .chrome_trace import chrome_trace, write_chrome_trace
+from .chrome_trace import chrome_trace, merge_chrome_traces, write_chrome_trace
 from .instrument import (
     HOOKS,
     NULL_INSTRUMENT,
@@ -40,6 +40,20 @@ from .instruments import (
 )
 from .metrics import METRICS_SCHEMA, build_metrics, from_json, to_json
 from .report import html_report
+from .runtime import (
+    RUNTIME_TRACE_SCHEMA,
+    MultiSink,
+    RuntimeTracer,
+    SweepProgress,
+    format_summary,
+    status_counts,
+)
+from .sweep_trace import (
+    load_runtime_shards,
+    merge_obs_dir,
+    runtime_chrome_doc,
+    write_sweep_trace,
+)
 from .tracelog import TraceEvent, TraceLog
 
 __all__ = [
@@ -63,6 +77,17 @@ __all__ = [
     "to_json",
     "from_json",
     "chrome_trace",
+    "merge_chrome_traces",
     "write_chrome_trace",
     "html_report",
+    "RUNTIME_TRACE_SCHEMA",
+    "RuntimeTracer",
+    "MultiSink",
+    "SweepProgress",
+    "format_summary",
+    "status_counts",
+    "load_runtime_shards",
+    "runtime_chrome_doc",
+    "merge_obs_dir",
+    "write_sweep_trace",
 ]

@@ -160,3 +160,48 @@ def write_chrome_trace(result, path: Optional[str] = None) -> str:
         with open(path, "w") as fh:
             fh.write(text)
     return text
+
+
+def merge_chrome_traces(docs) -> dict:
+    """Fold several Chrome trace documents into one multi-track trace.
+
+    Each input keeps its own set of tracks: when two documents claim the
+    same ``pid`` (every per-cell trace uses pid 0), the later document's
+    colliding pids are remapped to fresh ids so their tracks never
+    interleave.  Empty documents (no ``traceEvents``) are tolerated and
+    contribute nothing.  The merged body is re-sorted — ``M``-phase
+    metadata first, then by ``ts`` — so out-of-order inputs still yield
+    a Perfetto-loadable file with monotonic tracks.
+    """
+    merged: list[dict] = []
+    used_pids: set[int] = set()
+    sources: list[dict] = []
+    for doc in docs:
+        events = doc.get("traceEvents") or []
+        other = doc.get("otherData") or {}
+        sources.append(
+            {"schema": other.get("schema"), "events": len(events)}
+        )
+        if not events:
+            continue
+        pids = sorted({int(e.get("pid", 0)) for e in events})
+        mapping: dict[int, int] = {}
+        for pid in pids:
+            new = pid
+            while new in used_pids:
+                new = (max(used_pids) if used_pids else 0) + 1
+            mapping[pid] = new
+            used_pids.add(new)
+        for e in events:
+            out = dict(e)
+            out["pid"] = mapping[int(e.get("pid", 0))]
+            merged.append(out)
+    merged.sort(key=lambda e: (0 if e.get("ph") == "M" else 1, e.get("ts", 0)))
+    return {
+        "traceEvents": merged,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "schema": "repro-sweep-trace/1",
+            "sources": sources,
+        },
+    }

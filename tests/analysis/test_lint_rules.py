@@ -178,6 +178,54 @@ class TestNakedSleep:
         assert lint_rules.lint_file(path) == []
 
 
+def wallclock_span(src: str):
+    return lint_rules.check_wallclock_span(ast.parse(src), "x.py")
+
+
+class TestWallclockSpan:
+    def test_flags_time_time(self):
+        (finding,) = wallclock_span("import time\nt0 = time.time()\n")
+        assert "time.time" in finding[1]
+        assert wallclock_span("from time import time\n")
+
+    def test_flags_datetime_now_utcnow_today(self):
+        assert wallclock_span(
+            "from datetime import datetime\nts = datetime.now()\n"
+        )
+        assert wallclock_span(
+            "import datetime\nts = datetime.datetime.utcnow()\n"
+        )
+        assert wallclock_span(
+            "from datetime import datetime\nd = datetime.today()\n"
+        )
+
+    def test_monotonic_clocks_are_fine(self):
+        assert not wallclock_span(
+            "import time\nt = time.monotonic()\ns = time.perf_counter()\n"
+        )
+        assert not wallclock_span("from time import monotonic, perf_counter\n")
+
+    def test_unrelated_receivers_are_fine(self):
+        # ``now``/``today`` on a non-datetime object is not a wall-clock
+        # read (e.g. a pandas Timestamp helper or a domain method).
+        assert not wallclock_span("obj.now()\n")
+        assert not wallclock_span("calendar.today()\n")
+
+    def test_scope_covers_src_only(self):
+        # The rule fires only inside src/repro/, and never in obs/ or
+        # the supervised runtime (the two sanctioned wall-clock sites).
+        obs = lint_rules.REPO / "src/repro/obs/runtime.py"
+        assert lint_rules.lint_file(obs) == []
+        runtime = lint_rules.REPO / "src/repro/experiments/runtime.py"
+        assert lint_rules.lint_file(runtime) == []
+
+    def test_exempt_modules_actually_read_the_wall_clock(self):
+        # Guard the guard: obs/runtime.py stamps wall0 via time.time(),
+        # so if the exemption list rots the repo-wide run would fail.
+        src = (lint_rules.REPO / "src/repro/obs/runtime.py").read_text()
+        assert lint_rules.check_wallclock_span(ast.parse(src), "runtime.py")
+
+
 class TestLintFile:
     def test_machine_package_may_mutate_private_state(self):
         path = lint_rules.REPO / "src/repro/machine/simulator.py"

@@ -66,11 +66,30 @@ class TestFingerprint:
             {"check": True},
             {"analyze": True},
             {"engine": "compiled"},
+            {"engine_stats": True},
         ],
     )
     def test_any_record_shaping_knob_changes_it(self, change):
         base = grid_fingerprint(CRAY_T3D, **GRID)
         assert grid_fingerprint(CRAY_T3D, **{**GRID, **change}) != base
+
+    def test_harness_faults_change_it(self):
+        # A faulted journal can hold failure rows; replaying it into a
+        # fault-free resume (or vice versa) would corrupt the sweep.
+        from repro.experiments.runtime import HarnessFaultSpec
+
+        base = grid_fingerprint(CRAY_T3D, **GRID)
+        faulted = grid_fingerprint(
+            CRAY_T3D, **GRID,
+            harness_faults=HarnessFaultSpec(kill=(("lu-goodwin", 4),)),
+        )
+        assert faulted != base
+        # ...and different fault specs are themselves distinct.
+        other = grid_fingerprint(
+            CRAY_T3D, **GRID,
+            harness_faults=HarnessFaultSpec(error=(("lu-goodwin", 4),)),
+        )
+        assert other != faulted
 
     def test_machine_spec_changes_it(self):
         assert grid_fingerprint(CRAY_T3D, **GRID) != grid_fingerprint(

@@ -77,6 +77,73 @@ def test_trace_workload_not_executable(capsys):
     assert "not executable" in capsys.readouterr().err
 
 
+def test_sweep_prints_summary_without_obs(tmp_path, capsys):
+    """The stderr summary (elapsed + per-status counts) appears even
+    with observability off — satellite of the runtime-trace work."""
+    out = tmp_path / "sweep.csv"
+    assert main(["sweep", "--procs", "4", "--out", str(out)]) == 0
+    err = capsys.readouterr().err
+    assert "sweep: " in err and " cells (" in err and " ok" in err
+
+
+def test_sweep_obs_dir_writes_merged_trace(tmp_path, capsys):
+    """`sweep --obs-dir` produces runtime shards plus the auto-merged
+    Perfetto trace, and the CSV matches an unobserved run's bytes."""
+    import json
+
+    plain = tmp_path / "plain.csv"
+    observed = tmp_path / "observed.csv"
+    obs = tmp_path / "obs"
+    assert main(["sweep", "--procs", "4", "--out", str(plain)]) == 0
+    assert main([
+        "sweep", "--procs", "4", "--out", str(observed),
+        "--obs-dir", str(obs), "--jobs", "2",
+    ]) == 0
+    capsys.readouterr()
+    assert observed.read_bytes() == plain.read_bytes()
+    assert list(obs.glob("runtime-*.jsonl"))
+    doc = json.loads((obs / "sweep_trace.json").read_text())
+    assert doc["traceEvents"]
+
+
+def test_obs_merge_command(tmp_path, capsys):
+    """`repro obs merge --obs-dir` re-merges an existing directory."""
+    import json
+
+    obs = tmp_path / "obs"
+    assert main([
+        "sweep", "--procs", "4", "--out", str(tmp_path / "s.csv"),
+        "--obs-dir", str(obs),
+    ]) == 0
+    (obs / "sweep_trace.json").unlink()
+    assert main(["obs", "merge", "--obs-dir", str(obs)]) == 0
+    out = capsys.readouterr().out
+    assert "sweep_trace.json" in out
+    assert json.loads((obs / "sweep_trace.json").read_text())["traceEvents"]
+
+
+def test_obs_requires_action_and_dir(capsys):
+    assert main(["obs"]) == 2
+    assert main(["obs", "merge"]) == 2
+    capsys.readouterr()
+
+
+def test_sweep_engine_stats_columns(tmp_path, capsys):
+    """`sweep --engine-stats` adds the engine columns; off by default."""
+    plain = tmp_path / "plain.csv"
+    stats = tmp_path / "stats.csv"
+    assert main(["sweep", "--procs", "4", "--out", str(plain)]) == 0
+    assert main([
+        "sweep", "--procs", "4", "--engine", "compiled",
+        "--engine-stats", "--out", str(stats),
+    ]) == 0
+    capsys.readouterr()
+    assert "engine_used" not in plain.read_text()
+    header = stats.read_text().splitlines()[0]
+    assert "engine_used" in header and "fallback_reason" in header
+    assert ",compiled," in stats.read_text()
+
+
 def test_sweep_metrics_columns(tmp_path, capsys):
     """`sweep --metrics` adds telemetry columns; without it the CSV
     stays in the legacy format."""

@@ -1,0 +1,172 @@
+"""Unit tests for the bench trend gate (tools/bench_diff.py)."""
+
+import copy
+import importlib.util
+import json
+import pathlib
+
+_TOOLS = pathlib.Path(__file__).resolve().parents[2] / "tools"
+_spec = importlib.util.spec_from_file_location(
+    "bench_diff", _TOOLS / "bench_diff.py"
+)
+bench_diff = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(bench_diff)
+
+REPO = _TOOLS.parent
+COMMITTED = REPO / "BENCH_sweep.json"
+
+#: A minimal but gate-covering bench document.
+BASE = {
+    "schema": "repro-bench-sweep/7",
+    "generated_utc": "2026-08-08T00:00:00+00:00",
+    "sweep": {"serial_s": 10.0, "parallel_s": 8.0, "jobs": 2,
+              "identical_to_serial": True,
+              "cells": [{"cell_s": 1.0}]},
+    "engines": {"gate": {"speedup": 50.0, "exact": True}},
+    "runtime": {"supervised_vs_plain": 1.02},
+    "obs": {"traced_vs_plain": 1.01},
+    "instrumentation": {"null_vs_plain": 0.98, "metrics_vs_plain": 2.7},
+    "conformance": {"null_faults_vs_plain": 1.0, "checked_vs_plain": 1.5},
+    "analysis": {"checked_vs_analyze": 5.6},
+}
+
+
+def write(tmp_path, name, doc):
+    p = tmp_path / name
+    p.write_text(json.dumps(doc))
+    return str(p)
+
+
+class TestFlatten:
+    def test_numeric_leaves_as_dotted_paths(self):
+        flat = bench_diff.flatten(BASE)
+        assert flat["sweep.serial_s"] == 10.0
+        assert flat["engines.gate.speedup"] == 50.0
+
+    def test_strings_bools_and_lists_are_skipped(self):
+        flat = bench_diff.flatten(BASE)
+        assert "schema" not in flat
+        assert "generated_utc" not in flat
+        assert "sweep.identical_to_serial" not in flat  # bool
+        assert not any(k.startswith("sweep.cells") for k in flat)  # list
+
+
+class TestGates:
+    def test_self_compare_is_clean(self, tmp_path):
+        p = write(tmp_path, "b.json", BASE)
+        assert bench_diff.main([p, p]) == 0
+
+    def test_committed_baseline_self_compare(self):
+        # The acceptance criterion: the committed scorecard diffed
+        # against itself exits zero.
+        assert bench_diff.main([str(COMMITTED), str(COMMITTED)]) == 0
+
+    def test_max_gate_breach_exits_nonzero(self, tmp_path):
+        cur = copy.deepcopy(BASE)
+        cur["runtime"]["supervised_vs_plain"] = 2.04  # doubled overhead
+        rc = bench_diff.main([
+            write(tmp_path, "base.json", BASE),
+            write(tmp_path, "cur.json", cur),
+        ])
+        assert rc == 1
+
+    def test_min_gate_breach_exits_nonzero(self, tmp_path):
+        cur = copy.deepcopy(BASE)
+        cur["engines"]["gate"]["speedup"] = 5.0  # eroded 10x
+        rc = bench_diff.main([
+            write(tmp_path, "base.json", BASE),
+            write(tmp_path, "cur.json", cur),
+        ])
+        assert rc == 1
+
+    def test_within_tolerance_passes(self, tmp_path):
+        cur = copy.deepcopy(BASE)
+        cur["runtime"]["supervised_vs_plain"] = 1.20  # < 1.02 * 1.30
+        cur["engines"]["gate"]["speedup"] = 40.0      # > 50 / 1.30
+        rc = bench_diff.main([
+            write(tmp_path, "base.json", BASE),
+            write(tmp_path, "cur.json", cur),
+        ])
+        assert rc == 0
+
+    def test_report_only_suppresses_failure_exit(self, tmp_path):
+        cur = copy.deepcopy(BASE)
+        cur["engines"]["gate"]["speedup"] = 1.0
+        rc = bench_diff.main([
+            write(tmp_path, "base.json", BASE),
+            write(tmp_path, "cur.json", cur),
+            "--report-only",
+        ])
+        assert rc == 0
+
+    def test_schema_growth_is_tolerated(self, tmp_path):
+        # Baseline predates the obs section: its gate is skipped, new
+        # keys are reported as added, and the diff stays clean.
+        base = copy.deepcopy(BASE)
+        del base["obs"]
+        base["schema"] = "repro-bench-sweep/6"
+        rc = bench_diff.main([
+            write(tmp_path, "base.json", base),
+            write(tmp_path, "cur.json", BASE),
+        ])
+        assert rc == 0
+        rows = bench_diff.apply_gates(
+            bench_diff.flatten(base), bench_diff.flatten(BASE),
+            bench_diff.DEFAULT_GATES, bench_diff.DEFAULT_TOLERANCE,
+        )
+        (obs_row,) = [r for r in rows if r["path"] == "obs.traced_vs_plain"]
+        assert obs_row["status"] == "skipped"
+
+    def test_vanished_gated_claim_fails(self, tmp_path):
+        # The current document dropping a gated path is a regression of
+        # coverage, not schema growth.
+        cur = copy.deepcopy(BASE)
+        del cur["engines"]
+        rc = bench_diff.main([
+            write(tmp_path, "base.json", BASE),
+            write(tmp_path, "cur.json", cur),
+        ])
+        assert rc == 1
+
+    def test_gate_override_tightens_one_path(self, tmp_path):
+        cur = copy.deepcopy(BASE)
+        cur["runtime"]["supervised_vs_plain"] = 1.10  # +8%: inside 1.30
+        args = [
+            write(tmp_path, "base.json", BASE),
+            write(tmp_path, "cur.json", cur),
+        ]
+        assert bench_diff.main(args) == 0
+        assert bench_diff.main(
+            args + ["--gate", "runtime.supervised_vs_plain=1.05"]
+        ) == 1
+
+
+class TestLoadErrors:
+    def test_wrong_schema_family_exits_two(self, tmp_path):
+        p = write(tmp_path, "x.json", {"schema": "something-else/1"})
+        ok = write(tmp_path, "ok.json", BASE)
+        assert bench_diff.main([p, ok]) == 2
+
+    def test_missing_file_exits_two(self, tmp_path):
+        ok = write(tmp_path, "ok.json", BASE)
+        assert bench_diff.main([str(tmp_path / "absent.json"), ok]) == 2
+
+    def test_bad_gate_spec_exits_two(self, tmp_path):
+        ok = write(tmp_path, "ok.json", BASE)
+        assert bench_diff.main([ok, ok, "--gate", "nonsense"]) == 2
+
+
+class TestJsonOutput:
+    def test_machine_readable_report(self, tmp_path, capsys):
+        cur = copy.deepcopy(BASE)
+        cur["sweep"]["serial_s"] = 11.0
+        rc = bench_diff.main([
+            write(tmp_path, "base.json", BASE),
+            write(tmp_path, "cur.json", cur),
+            "--json",
+        ])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"] == "repro-bench-diff/1"
+        assert doc["ok"] is True
+        assert doc["diff"]["deltas"]["sweep.serial_s"]["ratio"] == 1.1

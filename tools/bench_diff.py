@@ -1,0 +1,273 @@
+#!/usr/bin/env python
+"""Machine-readable comparator for ``repro-bench-sweep/*`` documents.
+
+``BENCH_sweep.json`` is the committed scorecard of the repository's
+performance claims (see ``benchmarks/bench_sweep_engine.py``); until
+now a trend regression — the compiled-engine speedup eroding, the
+supervised or tracing overhead creeping up — could only be caught by a
+human reading two JSON files.  This tool diffs a baseline document
+against a current one:
+
+* **per-section deltas** for every shared numeric leaf (dotted paths,
+  lists skipped), printed compactly and exported via ``--json``;
+* **schema growth is tolerated**: keys only in the current document are
+  reported as *added*, keys only in the baseline as *removed* — neither
+  fails the diff on its own;
+* **gates**: a configurable set of watched paths with a direction
+  (``max`` = higher is a regression, ``min`` = lower is) and a
+  multiplicative tolerance.  Any breached gate exits non-zero unless
+  ``--report-only``.
+
+Usage::
+
+    python tools/bench_diff.py BASELINE.json CURRENT.json
+    python tools/bench_diff.py BENCH_sweep.json BENCH_sweep.json  # exit 0
+    python tools/bench_diff.py base.json cur.json --tolerance 1.2 \
+        --gate engines.gate.speedup=1.5 --report-only --json
+
+Exit status: 0 = no gate breached (or ``--report-only``), 1 = at least
+one gate breached (or a gated path vanished from the current document),
+2 = usage / load error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional
+
+#: Documents must share this schema family (any version).
+SCHEMA_PREFIX = "repro-bench-sweep/"
+
+#: Default multiplicative tolerance: a ``max`` gate fails when
+#: ``current > baseline * tolerance``; a ``min`` gate when
+#: ``current < baseline / tolerance``.  Generous because the committed
+#: baseline and CI run on different hardware — the gate is a *trend*
+#: guard, not a microbenchmark assertion.
+DEFAULT_TOLERANCE = 1.30
+
+#: Watched paths -> direction.  ``max``: the value is a cost (time,
+#: overhead ratio) and growing past tolerance is a regression.
+#: ``min``: the value is a win (speedup) and shrinking past tolerance
+#: is a regression.  Paths missing from the *baseline* are skipped
+#: (schema growth: an old baseline predates the section); paths missing
+#: from the *current* document fail — a silently vanished claim is
+#: itself a regression.
+DEFAULT_GATES: dict[str, str] = {
+    "instrumentation.null_vs_plain": "max",
+    "instrumentation.metrics_vs_plain": "max",
+    "conformance.null_faults_vs_plain": "max",
+    "conformance.checked_vs_plain": "max",
+    "analysis.checked_vs_analyze": "min",
+    "engines.gate.speedup": "min",
+    "runtime.supervised_vs_plain": "max",
+    "obs.traced_vs_plain": "max",
+    "sweep.serial_s": "max",
+    "sweep.parallel_s": "max",
+}
+
+
+def load_bench(path: str) -> dict:
+    """Load one bench document, validating the schema family."""
+    with open(path) as fh:
+        doc = json.load(fh)
+    schema = doc.get("schema", "")
+    if not isinstance(schema, str) or not schema.startswith(SCHEMA_PREFIX):
+        raise ValueError(
+            f"{path}: schema {schema!r} is not a {SCHEMA_PREFIX}* document"
+        )
+    return doc
+
+
+def flatten(doc, prefix: str = "") -> dict[str, float]:
+    """Numeric leaves of a nested dict as ``section.key`` paths.
+
+    Lists are skipped (``sweep.cells`` style payloads would swamp the
+    report); bools are skipped (not trend quantities); non-numeric
+    leaves (schema strings, hostnames) are skipped.
+    """
+    out: dict[str, float] = {}
+    if not isinstance(doc, dict):
+        return out
+    for key, value in doc.items():
+        path = f"{prefix}.{key}" if prefix else str(key)
+        if isinstance(value, dict):
+            out.update(flatten(value, path))
+        elif isinstance(value, bool):
+            continue
+        elif isinstance(value, (int, float)):
+            out[path] = float(value)
+    return out
+
+
+def diff_sections(base: dict[str, float], cur: dict[str, float]) -> dict:
+    """Shared/added/removed paths and per-path ratios."""
+    shared = sorted(set(base) & set(cur))
+    deltas = {}
+    for path in shared:
+        b, c = base[path], cur[path]
+        ratio: Optional[float]
+        if b == 0:
+            ratio = None if c == 0 else float("inf")
+        else:
+            ratio = c / b
+        deltas[path] = {"base": b, "cur": c, "ratio": ratio}
+    return {
+        "deltas": deltas,
+        "added": sorted(set(cur) - set(base)),
+        "removed": sorted(set(base) - set(cur)),
+    }
+
+
+def apply_gates(
+    base: dict[str, float],
+    cur: dict[str, float],
+    gates: dict[str, str],
+    tolerance: float,
+    overrides: Optional[dict[str, float]] = None,
+) -> list[dict]:
+    """Evaluate every gate; returns one verdict row per watched path."""
+    overrides = overrides or {}
+    rows = []
+    for path in sorted(gates):
+        direction = gates[path]
+        tol = overrides.get(path, tolerance)
+        row = {
+            "path": path,
+            "direction": direction,
+            "tolerance": tol,
+            "base": base.get(path),
+            "cur": cur.get(path),
+        }
+        if path not in base:
+            # Schema growth: the baseline predates this claim.
+            row["status"] = "skipped"
+        elif path not in cur:
+            # The current document dropped a gated claim — that is a
+            # regression of coverage, not growth.
+            row["status"] = "missing"
+        else:
+            b, c = base[path], cur[path]
+            if direction == "max":
+                ok = c <= b * tol
+            else:
+                ok = c >= b / tol
+            row["status"] = "ok" if ok else "breached"
+        rows.append(row)
+    return rows
+
+
+def render_report(diff: dict, verdicts: list[dict]) -> str:
+    lines = []
+    deltas = diff["deltas"]
+    by_section: dict[str, list[str]] = {}
+    for path, d in deltas.items():
+        section = path.split(".", 1)[0]
+        ratio = d["ratio"]
+        if ratio is not None and abs(ratio - 1.0) < 0.01:
+            continue  # unchanged within 1%: noise, not signal
+        shown = "n/a" if ratio is None else f"x{ratio:.3f}"
+        by_section.setdefault(section, []).append(
+            f"  {path}: {d['base']:g} -> {d['cur']:g} ({shown})"
+        )
+    if by_section:
+        lines.append("changed values (>1%):")
+        for section in sorted(by_section):
+            lines.extend(by_section[section])
+    else:
+        lines.append("no numeric value changed by more than 1%")
+    if diff["added"]:
+        lines.append(f"added keys ({len(diff['added'])}): "
+                     + ", ".join(diff["added"][:12])
+                     + ("..." if len(diff["added"]) > 12 else ""))
+    if diff["removed"]:
+        lines.append(f"removed keys ({len(diff['removed'])}): "
+                     + ", ".join(diff["removed"][:12])
+                     + ("..." if len(diff["removed"]) > 12 else ""))
+    lines.append("gates:")
+    for row in verdicts:
+        flag = {"ok": "PASS", "skipped": "SKIP", "missing": "FAIL",
+                "breached": "FAIL"}[row["status"]]
+        detail = ""
+        if row["status"] in ("ok", "breached"):
+            detail = (f" base={row['base']:g} cur={row['cur']:g} "
+                      f"{row['direction']} tol=x{row['tolerance']:g}")
+        elif row["status"] == "missing":
+            detail = " (gated path missing from current document)"
+        lines.append(f"  [{flag}] {row['path']}{detail}")
+    return "\n".join(lines)
+
+
+def parse_gate_overrides(specs) -> dict[str, float]:
+    out: dict[str, float] = {}
+    for spec in specs or ():
+        path, sep, tol = spec.partition("=")
+        if not sep:
+            raise ValueError(
+                f"bad --gate {spec!r}; expected PATH=TOLERANCE"
+            )
+        out[path] = float(tol)
+    return out
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="bench_diff",
+        description="Diff two repro-bench-sweep JSON documents and gate "
+                    "trend regressions.",
+    )
+    parser.add_argument("baseline", help="baseline bench JSON (committed)")
+    parser.add_argument("current", help="current bench JSON (fresh run)")
+    parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
+                        help="multiplicative slack of every gate "
+                             f"(default {DEFAULT_TOLERANCE:g})")
+    parser.add_argument("--gate", action="append", default=None,
+                        metavar="PATH=TOL",
+                        help="override the tolerance of one gated path; "
+                             "repeatable")
+    parser.add_argument("--report-only", action="store_true",
+                        help="print the report but always exit 0 on "
+                             "breaches (load errors still exit 2)")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit the machine-readable report instead of "
+                             "text")
+    args = parser.parse_args(argv)
+
+    try:
+        overrides = parse_gate_overrides(args.gate)
+        base_doc = load_bench(args.baseline)
+        cur_doc = load_bench(args.current)
+    except (OSError, ValueError, json.JSONDecodeError) as err:
+        print(f"bench_diff: {err}", file=sys.stderr)
+        return 2
+
+    base = flatten(base_doc)
+    cur = flatten(cur_doc)
+    diff = diff_sections(base, cur)
+    verdicts = apply_gates(base, cur, DEFAULT_GATES, args.tolerance,
+                           overrides)
+    breached = [r for r in verdicts if r["status"] in ("breached", "missing")]
+    if args.as_json:
+        print(json.dumps(
+            {
+                "schema": "repro-bench-diff/1",
+                "baseline_schema": base_doc.get("schema"),
+                "current_schema": cur_doc.get("schema"),
+                "diff": diff,
+                "gates": verdicts,
+                "ok": not breached,
+            },
+            indent=2, sort_keys=True,
+        ))
+    else:
+        print(render_report(diff, verdicts))
+        if breached:
+            print(f"{len(breached)} gate(s) breached", file=sys.stderr)
+    if breached and not args.report_only:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

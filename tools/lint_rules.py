@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Repo-specific AST lint rules (run in CI next to ruff).
 
-Five invariants of this codebase that generic linters cannot express:
+Six invariants of this codebase that generic linters cannot express:
 
 ``private-mutation``
     Outside ``src/repro/machine/``, no code may assign to, aug-assign
@@ -42,6 +42,18 @@ Five invariants of this codebase that generic linters cannot express:
     timeout polling, injected hangs — is centralised in the supervised
     runtime so its determinism and budgets stay auditable; ad-hoc
     sleeps elsewhere are latent flakes.
+
+``wallclock-span``
+    Inside ``src/repro/``, ``time.time()`` and ``datetime.now()`` (and
+    friends: ``utcnow``, ``today``, ``from time import time``) are
+    forbidden outside ``src/repro/obs/`` and
+    ``src/repro/experiments/runtime.py``.  Every span and duration in
+    the runtime trace is measured on the monotonic clock
+    (``time.monotonic`` / ``time.perf_counter``); the wall clock is
+    read exactly once per trace shard (the header's ``wall0``) so the
+    merger can align shards from different processes.  A stray
+    ``time.time()`` span silently breaks under clock adjustment and
+    cannot be aligned cross-process.
 
 Usage::
 
@@ -246,6 +258,57 @@ def check_swallowed_exception(tree: ast.AST, path: str) -> list[tuple[int, str]]
     return out
 
 
+#: Wall-clock reads are confined to the trace layer (``obs/``) and the
+#: supervised runtime; everywhere else in ``src/repro/`` spans must use
+#: the monotonic clock.
+SRC_PREFIX = pathlib.PurePosixPath("src/repro")
+OBS_PREFIX = pathlib.PurePosixPath("src/repro/obs")
+
+_WALLCLOCK_DATETIME_ATTRS = {"now", "utcnow", "today"}
+_DATETIME_RECEIVERS = {"datetime", "datetime.datetime"}
+
+
+def _dotted_name(node: ast.expr) -> Optional[str]:
+    """``a.b.c`` as ``"a.b.c"`` when every link is a Name/Attribute."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def check_wallclock_span(tree: ast.AST, path: str) -> list[tuple[int, str]]:
+    """``wallclock-span`` findings as ``(lineno, message)``."""
+    out: list[tuple[int, str]] = []
+    msg = (
+        "wallclock-span: {what} outside obs/ and experiments/runtime.py — "
+        "spans use time.monotonic()/perf_counter(); the wall clock is "
+        "read once per trace shard (header wall0)"
+    )
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Attribute):
+            if node.attr == "time" and _receiver_name(node.value) == "time":
+                out.append((node.lineno, msg.format(what="time.time")))
+            elif node.attr in _WALLCLOCK_DATETIME_ATTRS:
+                recv = _dotted_name(node.value)
+                if recv in _DATETIME_RECEIVERS:
+                    out.append((
+                        node.lineno,
+                        msg.format(what=f"{recv}.{node.attr}"),
+                    ))
+        elif isinstance(node, ast.ImportFrom):
+            if (node.module or "") == "time" and any(
+                alias.name == "time" for alias in node.names
+            ):
+                out.append(
+                    (node.lineno, msg.format(what="'from time import time'"))
+                )
+    return out
+
+
 def check_naked_sleep(tree: ast.AST, path: str) -> list[tuple[int, str]]:
     """``naked-sleep`` findings as ``(lineno, message)``."""
     out: list[tuple[int, str]] = []
@@ -281,6 +344,10 @@ def lint_file(path: pathlib.Path, repo: pathlib.Path = REPO) -> list[str]:
     findings += check_swallowed_exception(tree, str(rel))
     if rel != RUNTIME_MODULE:
         findings += check_naked_sleep(tree, str(rel))
+    if (rel.is_relative_to(SRC_PREFIX)
+            and not rel.is_relative_to(OBS_PREFIX)
+            and rel != RUNTIME_MODULE):
+        findings += check_wallclock_span(tree, str(rel))
     return [f"{rel}:{line}: {msg}" for line, msg in sorted(findings)]
 
 
