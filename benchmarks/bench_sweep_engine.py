@@ -10,7 +10,7 @@ performance trajectory of the engine can be compared across PRs::
     PYTHONPATH=src python benchmarks/bench_sweep_engine.py
     PYTHONPATH=src python -m pytest benchmarks/bench_sweep_engine.py -q
 
-The JSON schema is ``repro-bench-sweep/7`` (see EXPERIMENTS.md for the
+The JSON schema is ``repro-bench-sweep/8`` (see EXPERIMENTS.md for the
 field-by-field description).  Infinities are serialised as the string
 ``"inf"``, matching the sweep CSV convention.  Version 2 adds the
 ``instrumentation`` section: the cost of the :mod:`repro.obs` telemetry
@@ -45,6 +45,12 @@ trace enabled (``obs_dir=``, one JSONL shard per process, see
 ``docs/observability.md``) against the untraced supervised run —
 tracing rides the same overhead budget, the records and CSV bytes must
 be identical, and the merged Perfetto document must be non-trivial.
+Version 8 adds the ``opt`` section: the exact branch-and-bound
+(:mod:`repro.opt.exact`) on the worked Figure 2 example — both
+objectives must stay ``PROVED_OPTIMAL`` at the values the paper's
+schedules achieve (PT 16, MIN_MEM 7), and the per-objective solve cost
+is recorded (the time objective is gated: the example must stay a
+sub-10 ms proof).
 
 ``SEED_BASELINE`` holds reference timings of the pre-optimisation
 engine, measured back-to-back with the optimised engine on the same
@@ -604,6 +610,49 @@ def bench_sweep() -> dict:
     }
 
 
+#: Repeats for the exact-solver micro-benchmark.
+OPT_REPEATS = 5
+
+
+def bench_opt() -> dict:
+    """Cost of the exact branch-and-bound on the worked example.
+
+    Both objectives must prove (status ``PROVED_OPTIMAL``) at the
+    values the paper's own schedules achieve — PT 16 and MIN_MEM 7 —
+    and the best-of-``OPT_REPEATS`` solve times are recorded.
+    ``exact_paper_s`` (the time objective, the slower of the two) is
+    the gated headline number.
+    """
+    from repro.graph.paper_example import (
+        paper_assignment,
+        paper_example_graph,
+        paper_placement,
+    )
+    from repro.opt.exact import solve
+
+    g = paper_example_graph()
+    pl = paper_placement()
+    asg = paper_assignment(g, pl)
+    out: dict = {}
+    for objective, expect in (("time", 16.0), ("memory", 7.0)):
+        runs = []
+        res = None
+        for _ in range(OPT_REPEATS):
+            t0 = time.perf_counter()
+            res = solve(g, pl, asg, objective=objective)
+            runs.append(time.perf_counter() - t0)
+        assert res.status == "PROVED_OPTIMAL", res.status
+        assert abs(res.value - expect) <= 1e-9, (objective, res.value)
+        out[objective] = {
+            "status": res.status,
+            "value": res.value,
+            "nodes": res.nodes,
+            "best_solve_s": round(min(runs), 5),
+        }
+    out["exact_paper_s"] = out["time"]["best_solve_s"]
+    return out
+
+
 def run_benchmark(out_path: pathlib.Path = OUT_PATH) -> dict:
     single = bench_single_runs()
     instrumentation = bench_instrumentation()
@@ -612,6 +661,7 @@ def run_benchmark(out_path: pathlib.Path = OUT_PATH) -> dict:
     engines = bench_engines()
     runtime = bench_runtime()
     obs = bench_obs()
+    opt = bench_opt()
     sweep = bench_sweep()
     seed = SEED_BASELINE
     comparison = {
@@ -625,7 +675,7 @@ def run_benchmark(out_path: pathlib.Path = OUT_PATH) -> dict:
             seed["single_run"][key]["best_run_s"] / single[key]["best_run_s"], 2
         )
     report = {
-        "schema": "repro-bench-sweep/7",
+        "schema": "repro-bench-sweep/8",
         "generated_utc": datetime.now(timezone.utc).isoformat(timespec="seconds"),
         "machine": {
             "python": platform.python_version(),
@@ -646,6 +696,7 @@ def run_benchmark(out_path: pathlib.Path = OUT_PATH) -> dict:
         "engines": engines,
         "runtime": runtime,
         "obs": obs,
+        "opt": opt,
         "sweep": sweep,
         "seed_baseline": seed,
         "speedup_vs_seed": comparison,

@@ -14,7 +14,10 @@ Usage::
     python -m repro sweep --jobs 4 --checkpoint ckpt/   # journal progress
     python -m repro sweep --jobs 4 --checkpoint ckpt/ --resume  # finish it
     python -m repro sweep --jobs 4 --obs-dir obs/ --progress  # traced sweep
+    python -m repro sweep --heuristics rcp mpo dts etf tree  # wider line-up
     python -m repro obs merge --obs-dir obs/   # re-merge the sweep trace
+    python -m repro gaps               # optimality-gap scorecard (exact solver)
+    python -m repro gaps --workloads paper --node-budget 50000
     python -m repro trace --metrics metrics.json --trace-out trace.json \
         --report report.html           # one instrumented run, exported
     python -m repro check --seed 7     # conformance batch: invariants + oracle
@@ -366,7 +369,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        help="one of: " + ", ".join(EXPERIMENTS) + ", example, svg, list, all",
+        help="one of: " + ", ".join(EXPERIMENTS)
+             + ", example, svg, gaps, list, all",
     )
     parser.add_argument(
         "action", nargs="?", default=None,
@@ -396,8 +400,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="trace: workload key ('paper' = the Figure 2 "
                              "example; else chol15/chol24/lu-goodwin)")
     parser.add_argument("--heuristic", default="mpo",
-                        choices=("rcp", "mpo", "dts"),
-                        help="trace: ordering heuristic")
+                        choices=("rcp", "mpo", "dts", "etf", "tree", "exact"),
+                        help="trace/analyze: ordering heuristic")
+    parser.add_argument("--heuristics", nargs="*", default=None,
+                        metavar="NAME",
+                        help="sweep: ordering heuristics of the grid "
+                             "(default rcp mpo dts); gaps: scorecard "
+                             "line-up (default rcp mpo dts etf tree)")
+    parser.add_argument("--node-budget", type=int, default=None, metavar="N",
+                        help="gaps: branch-and-bound node budget per "
+                             "(instance, objective) solve (default 20000)")
     parser.add_argument("--fraction", type=float, default=0.5,
                         help="trace/check: memory capacity as a fraction of "
                              "TOT (check: position between MIN_MEM and TOT)")
@@ -483,8 +495,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.experiment == "list":
         print("\n".join(
             EXPERIMENTS
-            + ("example", "svg", "sweep", "trace", "check", "analyze",
-               "validate", "obs merge")
+            + ("example", "svg", "sweep", "gaps", "trace", "check",
+               "analyze", "validate", "obs merge")
         ))
         return 0
     if args.experiment == "trace":
@@ -506,6 +518,44 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         claims = validate(ExperimentContext())
         print(render_scorecard(claims))
         return 0 if all(c.passed for c in claims) else 1
+    if args.experiment == "gaps":
+        from .experiments.tables import (
+            SCORECARD_NODE_BUDGET,
+            SCORECARD_PROCS,
+            SCORECARD_WORKLOADS,
+            gap_scorecard,
+        )
+        from .opt.gaps import GAP_HEURISTICS
+
+        heuristics = tuple(args.heuristics) if args.heuristics else None
+        if heuristics:
+            bad = [h for h in heuristics if h not in GAP_HEURISTICS]
+            if bad:
+                print(
+                    f"unknown heuristic(s) {bad}; "
+                    f"choose from {list(GAP_HEURISTICS)}",
+                    file=sys.stderr,
+                )
+                return 2
+        try:
+            card = gap_scorecard(
+                ExperimentContext(),
+                workloads=(
+                    tuple(args.workloads) if args.workloads
+                    else SCORECARD_WORKLOADS
+                ),
+                procs=tuple(args.procs) if args.procs else SCORECARD_PROCS,
+                heuristics=heuristics,
+                node_budget=(
+                    args.node_budget if args.node_budget is not None
+                    else SCORECARD_NODE_BUDGET
+                ),
+            )
+        except KeyError as err:
+            print(str(err).strip('"'), file=sys.stderr)
+            return 2
+        print(card.render())
+        return 0
     if args.experiment == "sweep":
         import pathlib
         from time import monotonic
@@ -539,24 +589,32 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         sweep_kw = {}
         if args.workloads:
             sweep_kw["workloads"] = tuple(args.workloads)
+        if args.heuristics:
+            sweep_kw["heuristics"] = tuple(args.heuristics)
         t0 = monotonic()
-        records = full_sweep(
-            ctx,
-            procs=tuple(args.procs) if args.procs else (2, 4, 8, 16, 32),
-            jobs=args.jobs,
-            metrics=args.metrics is not None,
-            check=args.check,
-            analyze=args.analyze,
-            engine=args.engine,
-            engine_stats=args.engine_stats,
-            runtime=runtime,
-            checkpoint=args.checkpoint,
-            resume=args.resume,
-            harness_faults=harness_faults,
-            obs_dir=args.obs_dir,
-            progress=args.progress,
-            **sweep_kw,
-        )
+        try:
+            records = full_sweep(
+                ctx,
+                procs=tuple(args.procs) if args.procs else (2, 4, 8, 16, 32),
+                jobs=args.jobs,
+                metrics=args.metrics is not None,
+                check=args.check,
+                analyze=args.analyze,
+                engine=args.engine,
+                engine_stats=args.engine_stats,
+                runtime=runtime,
+                checkpoint=args.checkpoint,
+                resume=args.resume,
+                harness_faults=harness_faults,
+                obs_dir=args.obs_dir,
+                progress=args.progress,
+                **sweep_kw,
+            )
+        except (KeyError, ValueError) as err:
+            # Bad --heuristics / --workloads names: surface the choice
+            # listing instead of a traceback.
+            print(str(err).strip('"'), file=sys.stderr)
+            return 2
         elapsed = monotonic() - t0
         out = pathlib.Path(args.out)
         target = out / "sweep.csv" if out.is_dir() or not out.suffix else out

@@ -42,6 +42,7 @@ from .depmem import (
 )
 from .dynamic import etf_schedule
 from .listsched import StaticPolicy, run_list_scheduler
+from .treesched import liu_postorder, tree_order
 from .viz import gantt_svg, memory_svg
 
 __all__ = [
@@ -74,6 +75,7 @@ __all__ = [
     "etf_schedule",
     "gantt",
     "gantt_svg",
+    "liu_postorder",
     "lpt_map_clusters",
     "memory_svg",
     "mem_req_of_task",
@@ -90,6 +92,7 @@ __all__ = [
     "serial_schedule",
     "slice_volatile_space",
     "task_association",
+    "tree_order",
     "unconstrained_plan",
     "validate_owner_compute",
 ]

@@ -25,7 +25,16 @@ from .validate import Claim, render_scorecard
 from .validate import validate as run_validation
 from .figure7 import figure7 as run_figure7
 from .table8 import table8 as run_table8
-from .tables import table1, table2, table3, table4, table5, table6, table7
+from .tables import (
+    gap_scorecard,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+    table7,
+)
 
 __all__ = [
     "CellFailure",
@@ -47,6 +56,7 @@ __all__ = [
     "SweepRecord",
     "from_csv",
     "full_sweep",
+    "gap_scorecard",
     "render_scorecard",
     "run_figure7",
     "run_table8",

@@ -33,6 +33,7 @@ from ..rapid.inspector import order_with
 from ..sparse.cholesky import build_cholesky
 from ..sparse.lu import build_lu
 from ..sparse.matrices import bcsstk15_like, bcsstk24_like, goodwin_like
+from ..sparse.treegraph import build_etree_problem
 
 #: Memory fractions of the paper's overhead tables.
 FRACTIONS = (1.0, 0.75, 0.5, 0.4)
@@ -40,6 +41,9 @@ FRACTIONS = (1.0, 0.75, 0.5, 0.4)
 FRACTIONS_CMP = (0.75, 0.5, 0.4, 0.25)
 #: Processor counts of the paper's tables.
 PROCS = (2, 4, 8, 16, 32)
+
+#: Workload keys built into :meth:`ExperimentContext.problem`.
+BUILTIN_WORKLOADS = ("chol15", "chol24", "lu-goodwin", "etree15")
 
 INF = float("inf")
 
@@ -103,7 +107,8 @@ class ExperimentContext:
 
     def problem(self, key: str):
         """Named workload; built lazily.  Keys: ``chol15``, ``chol24``,
-        ``lu-goodwin`` and any registered via :meth:`register`."""
+        ``lu-goodwin``, ``etree15`` and any registered via
+        :meth:`register`."""
         if key not in self._problems:
             flop_time = 1.0 / self.spec.flop_rate
             if key == "chol15":
@@ -121,8 +126,18 @@ class ExperimentContext:
                     goodwin_like(scale=0.07), block_size=12, flop_time=flop_time,
                     with_kernels=False,
                 )
+            elif key == "etree15":
+                self._problems[key] = build_etree_problem(
+                    bcsstk15_like(scale=0.15), flop_time=flop_time,
+                )
             else:
-                raise KeyError(f"unknown workload {key!r}")
+                known = sorted(
+                    set(BUILTIN_WORKLOADS) | set(self._registered)
+                )
+                raise KeyError(
+                    f"unknown workload {key!r}; choose one of {known} "
+                    "or register() a custom problem"
+                )
         return self._problems[key]
 
     def register(self, key: str, problem) -> None:

@@ -306,6 +306,13 @@ def full_sweep(
     event stream.  Either implies the supervised executor; both default
     off, leaving the plain path untouched.
     """
+    from ..rapid.inspector import HEURISTICS
+
+    unknown = [h for h in heuristics if h not in HEURISTICS]
+    if unknown:
+        raise ValueError(
+            f"unknown heuristic(s) {unknown}; choose from {list(HEURISTICS)}"
+        )
     if not jobs or jobs < 0:
         jobs = os.cpu_count() or 1
     supervised = (

@@ -251,3 +251,113 @@ def table5(
                 b.avg_maps if b.executable else INF,
             )
     return Table5(procs=tuple(procs), fractions=tuple(fractions), entries=entries)
+
+
+# ----------------------------------------------------------------------
+# Optimality-gap scorecard — heuristics vs the exact solver (repro.opt)
+# ----------------------------------------------------------------------
+
+#: Default scorecard grid: the worked example (fixed 2-processor
+#: placement) plus the elimination-tree workload the tree heuristic is
+#: specialised for.
+SCORECARD_WORKLOADS = ("paper", "etree15")
+SCORECARD_PROCS = (2, 4)
+#: Node budget per (instance, objective) solve.  Small instances prove
+#: optimality in a handful of nodes; on the tree workloads the memory
+#: objective still proves instantly (the per-task hold bound is tight)
+#: while the time objective typically certifies a lower bound instead.
+SCORECARD_NODE_BUDGET = 20_000
+
+
+@dataclass
+class GapScorecard:
+    """Per-heuristic optimality gaps against the exact references.
+
+    ``entries`` is one :class:`repro.opt.gaps.WorkloadGaps` per
+    (workload, processors) instance.  Gap semantics follow
+    :mod:`repro.opt.gaps`: exact against a proved optimum (``=``
+    reference rows), an upper bound on the true gap against a certified
+    lower bound (``>=`` reference rows).
+    """
+
+    node_budget: int
+    entries: tuple
+
+    def render(self) -> str:
+        headers = [
+            "workload", "P", "heuristic", "PT", "gap(PT)", "peak", "gap(MEM)",
+        ]
+        rows = []
+        for e in self.entries:
+            t_mark = "=" if e.time.proved else ">="
+            m_mark = "=" if e.memory.proved else ">="
+            rows.append([
+                e.workload, str(e.procs), "exact",
+                f"{t_mark}{e.time_ref:.4g}", "-",
+                f"{m_mark}{e.mem_ref:g}", "-",
+            ])
+            for r in e.rows:
+                rows.append([
+                    e.workload, str(e.procs),
+                    r.heuristic + ("*" if r.own_placement else ""),
+                    f"{r.pt:.4g}", fmt_pct(r.gap_pt),
+                    str(r.peak), fmt_pct(r.gap_peak),
+                ])
+        table = render_table(
+            headers, rows,
+            title="Scorecard: heuristic optimality gaps vs the exact solver",
+        )
+        return table + (
+            "\n(reference rows: '=' proved optimal, '>=' certified lower "
+            f"bound at {self.node_budget} nodes/objective; "
+            "'*' = derives its own placement)"
+        )
+
+
+def gap_scorecard(
+    ctx: ExperimentContext,
+    workloads=SCORECARD_WORKLOADS,
+    procs=SCORECARD_PROCS,
+    heuristics=None,
+    node_budget=SCORECARD_NODE_BUDGET,
+) -> GapScorecard:
+    """Run the exact solver on each instance and gap every heuristic.
+
+    ``"paper"`` is the Figure 2 worked example under its fixed
+    2-processor placement and unit communication (it appears once,
+    whatever ``procs`` says); every other key resolves through
+    ``ctx.problem()`` and is swept over ``procs`` with the machine's
+    communication model.
+    """
+    from ..core.schedule import UNIT_COMM
+    from ..opt.gaps import GAP_HEURISTICS, optimality_gaps
+
+    if heuristics is None:
+        heuristics = GAP_HEURISTICS
+    entries = []
+    for key in workloads:
+        if key == "paper":
+            from ..graph.paper_example import (
+                paper_assignment,
+                paper_example_graph,
+                paper_placement,
+            )
+
+            g = paper_example_graph()
+            pl = paper_placement()
+            entries.append(optimality_gaps(
+                g, pl, paper_assignment(g, pl), UNIT_COMM,
+                workload="paper", heuristics=heuristics,
+                node_budget=node_budget,
+            ))
+            continue
+        prob = ctx.problem(key)
+        comm = ctx.spec.comm_model()
+        for p in procs:
+            pl = prob.placement(p)
+            entries.append(optimality_gaps(
+                prob.graph, pl, prob.assignment(pl), comm,
+                workload=key, procs=p, heuristics=heuristics,
+                node_budget=node_budget,
+            ))
+    return GapScorecard(node_budget=node_budget, entries=tuple(entries))

@@ -155,6 +155,34 @@ def _trend_claims(ctx: ExperimentContext) -> list[Claim]:
         claims.append(
             Claim(f"Theorem 2 bound holds ({key})", "Thm. 2",
                   mm <= bound, f"{mm} <= {bound}"))
+
+    # Exact baseline: the B&B proves the paper's DTS value (7) is the
+    # memory optimum of the worked example, and the tree-specialised
+    # heuristic is no worse than MPO on the elimination-tree workload.
+    from ..core import mpo_order, tree_order
+    from ..graph.paper_example import (
+        paper_assignment,
+        paper_example_graph,
+        paper_placement,
+    )
+    from ..opt.exact import solve
+
+    g = paper_example_graph()
+    pl = paper_placement()
+    res = solve(g, pl, paper_assignment(g, pl), objective="memory")
+    claims.append(
+        Claim("Exact solver proves MIN_MEM* = 7 on Fig. 2", "Fig. 5",
+              res.proved and res.value == 7,
+              f"{res.status} value={res.value} ({res.nodes} nodes)"))
+    prob = ctx.problem("etree15")
+    pl = prob.placement(4)
+    asg = prob.assignment(pl)
+    comm = ctx.spec.comm_model()
+    tr = analyze_memory(tree_order(prob.graph, pl, asg, comm)).min_mem
+    mp = analyze_memory(mpo_order(prob.graph, pl, asg, comm)).min_mem
+    claims.append(
+        Claim("Tree heuristic peak <= MPO's on etree15", "sec. 4",
+              tr <= mp, f"{tr} <= {mp}"))
     return claims
 
 

@@ -1,0 +1,37 @@
+"""Exact optimality baselines for the scheduling heuristics.
+
+:mod:`repro.opt.exact` holds the small-instance branch-and-bound solver
+(proved optima / certified bounds on makespan and MIN_MEM);
+:func:`~repro.core.treesched.tree_order` — the tree-specialised
+postorder heuristic the solver benchmarks — lives in :mod:`repro.core`
+next to RCP/MPO/DTS and is re-exported here for convenience.
+"""
+
+from ..core.treesched import liu_postorder, tree_order
+from .exact import (
+    BEST_FOUND,
+    DEFAULT_NODE_BUDGET,
+    DEFAULT_ORDER_BUDGET,
+    PROVED_OPTIMAL,
+    ExactResult,
+    exact_order,
+    solve,
+    solve_over_placements,
+)
+from .gaps import GapRow, WorkloadGaps, optimality_gaps
+
+__all__ = [
+    "BEST_FOUND",
+    "DEFAULT_NODE_BUDGET",
+    "DEFAULT_ORDER_BUDGET",
+    "ExactResult",
+    "GapRow",
+    "PROVED_OPTIMAL",
+    "WorkloadGaps",
+    "exact_order",
+    "liu_postorder",
+    "optimality_gaps",
+    "solve",
+    "solve_over_placements",
+    "tree_order",
+]

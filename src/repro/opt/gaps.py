@@ -1,0 +1,148 @@
+"""Optimality gaps of the ordering heuristics against the exact solver.
+
+For one (graph, placement, assignment) instance this module runs the
+branch-and-bound of :mod:`repro.opt.exact` twice — once per objective —
+and measures every heuristic against the outcome:
+
+``gap = value / reference - 1``
+
+where the reference is the proved optimum when the solver finished
+(``PROVED_OPTIMAL``: the gap is exact) and the certified root lower
+bound when the node budget ran out (``BEST_FOUND``: the reported gap is
+an *upper bound* on the true gap).  ETF derives its own placement, so
+its row is flagged ``own_placement`` — it competes against an optimum
+computed for the owner-compute placement and may legitimately beat it
+on time while losing on memory (the paper's section 1 argument).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional, Sequence
+
+from ..core.dts import dts_order
+from ..core.dynamic import etf_schedule
+from ..core.liveness import analyze_memory
+from ..core.mpo import mpo_order
+from ..core.placement import Placement
+from ..core.rcp import rcp_order
+from ..core.schedule import CommModel, Schedule, UNIT_COMM, gantt
+from ..core.treesched import tree_order
+from ..graph.taskgraph import TaskGraph
+from .exact import DEFAULT_NODE_BUDGET, ExactResult, solve
+
+#: Default heuristic line-up of the scorecard.
+GAP_HEURISTICS = ("rcp", "mpo", "dts", "etf", "tree")
+
+
+@dataclass(frozen=True)
+class GapRow:
+    """One heuristic's measurement against the exact references."""
+
+    heuristic: str
+    pt: float
+    peak: int
+    gap_pt: float
+    gap_peak: float
+    #: ETF ignores the given placement; its gaps compare across
+    #: placements and the time gap may be negative.
+    own_placement: bool = False
+
+
+@dataclass(frozen=True)
+class WorkloadGaps:
+    """Scorecard data of one (workload, processors) instance."""
+
+    workload: str
+    procs: int
+    time: ExactResult
+    memory: ExactResult
+    rows: tuple[GapRow, ...]
+
+    @property
+    def time_ref(self) -> float:
+        """Gap denominator: proved optimum or certified lower bound."""
+        return self.time.value if self.time.proved else self.time.lower_bound
+
+    @property
+    def mem_ref(self) -> float:
+        return (
+            self.memory.value if self.memory.proved else self.memory.lower_bound
+        )
+
+    def row(self, heuristic: str) -> GapRow:
+        for r in self.rows:
+            if r.heuristic == heuristic:
+                return r
+        raise KeyError(f"no gap row for heuristic {heuristic!r}")
+
+
+def _heuristic_schedule(
+    name: str,
+    graph: TaskGraph,
+    placement: Placement,
+    assignment: Mapping[str, int],
+    comm: CommModel,
+) -> tuple[Schedule, bool]:
+    if name == "etf":
+        return etf_schedule(graph, placement.num_procs, comm), True
+    fns = {
+        "rcp": rcp_order,
+        "mpo": mpo_order,
+        "dts": dts_order,
+        "tree": tree_order,
+    }
+    if name not in fns:
+        raise ValueError(
+            f"unknown scorecard heuristic {name!r}; "
+            f"use one of {GAP_HEURISTICS}"
+        )
+    return fns[name](graph, placement, assignment, comm), False
+
+
+def optimality_gaps(
+    graph: TaskGraph,
+    placement: Placement,
+    assignment: Mapping[str, int],
+    comm: CommModel = UNIT_COMM,
+    *,
+    workload: str = "",
+    procs: Optional[int] = None,
+    heuristics: Sequence[str] = GAP_HEURISTICS,
+    node_budget: int = DEFAULT_NODE_BUDGET,
+) -> WorkloadGaps:
+    """Measure every heuristic against the exact solver's references."""
+    time_res = solve(
+        graph, placement, assignment, comm,
+        objective="time", node_budget=node_budget,
+    )
+    mem_res = solve(
+        graph, placement, assignment, comm,
+        objective="memory", node_budget=node_budget,
+    )
+    t_ref = time_res.value if time_res.proved else time_res.lower_bound
+    m_ref = mem_res.value if mem_res.proved else mem_res.lower_bound
+    rows = []
+    for name in heuristics:
+        sched, own = _heuristic_schedule(
+            name, graph, placement, assignment, comm
+        )
+        pt = gantt(sched, comm).makespan
+        peak = analyze_memory(sched).min_mem
+        rows.append(
+            GapRow(
+                heuristic=name,
+                pt=pt,
+                peak=peak,
+                gap_pt=pt / t_ref - 1.0 if t_ref > 0 else 0.0,
+                gap_peak=peak / m_ref - 1.0 if m_ref > 0 else 0.0,
+                own_placement=own,
+            )
+        )
+    return WorkloadGaps(
+        workload=workload,
+        procs=procs if procs is not None else placement.num_procs,
+        time=time_res,
+        memory=mem_res,
+        rows=tuple(rows),
+    )

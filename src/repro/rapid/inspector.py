@@ -13,15 +13,18 @@ from typing import Mapping, Optional
 
 from ..core.clustering import dsc_map
 from ..core.dts import dts_order
+from ..core.dynamic import etf_schedule
 from ..core.mpo import mpo_order
 from ..core.placement import Placement, cyclic_placement, owner_compute_assignment
 from ..core.rcp import rcp_order
 from ..core.schedule import CommModel, Schedule, UNIT_COMM
+from ..core.treesched import tree_order
 from ..errors import SchedulingError
 from ..graph.taskgraph import TaskGraph
+from ..opt.exact import exact_order
 
 #: Names accepted by :func:`parallelize`.
-HEURISTICS = ("rcp", "mpo", "dts", "dts-merge")
+HEURISTICS = ("rcp", "mpo", "dts", "dts-merge", "etf", "tree", "exact")
 
 
 def order_with(
@@ -44,6 +47,14 @@ def order_with(
         if capacity is None:
             raise SchedulingError("dts-merge needs the available memory capacity")
         return dts_order(graph, placement, assignment, comm, avail_mem=capacity)
+    if h == "etf":
+        # Dynamic baseline: derives its own placement/assignment (the
+        # given ones only fix the processor count).
+        return etf_schedule(graph, placement.num_procs, comm)
+    if h == "tree":
+        return tree_order(graph, placement, assignment, comm)
+    if h == "exact":
+        return exact_order(graph, placement, assignment, comm, capacity=capacity)
     raise SchedulingError(f"unknown heuristic {heuristic!r}; use one of {HEURISTICS}")
 
 

@@ -1,0 +1,114 @@
+"""The optimality-gap scorecard and its CLI/sweep wiring."""
+
+import pytest
+
+from repro.cli import main
+from repro.experiments import ExperimentContext, gap_scorecard
+from repro.experiments.sweep import full_sweep
+from repro.opt.gaps import GAP_HEURISTICS, optimality_gaps
+from repro.graph.paper_example import (
+    paper_assignment,
+    paper_example_graph,
+    paper_placement,
+)
+
+
+@pytest.fixture(scope="module")
+def paper_gaps():
+    g = paper_example_graph()
+    pl = paper_placement()
+    return optimality_gaps(
+        g, pl, paper_assignment(g, pl), workload="paper"
+    )
+
+
+class TestOptimalityGaps:
+    def test_both_objectives_prove_on_the_paper_example(self, paper_gaps):
+        assert paper_gaps.time.proved and paper_gaps.memory.proved
+        assert paper_gaps.time_ref == pytest.approx(16.0)
+        assert paper_gaps.mem_ref == 7
+
+    def test_static_heuristics_have_zero_gaps(self, paper_gaps):
+        for name in ("rcp", "mpo", "dts", "tree"):
+            row = paper_gaps.row(name)
+            assert row.gap_pt == pytest.approx(0.0, abs=1e-9)
+            assert row.gap_peak == pytest.approx(0.0, abs=1e-9)
+            assert not row.own_placement
+
+    def test_etf_row_shows_the_section1_tradeoff(self, paper_gaps):
+        # The dynamic baseline runs faster than the memory-optimal
+        # static schedules but uses more memory — the paper's premise.
+        row = paper_gaps.row("etf")
+        assert row.own_placement
+        assert row.gap_pt < 0
+        assert row.gap_peak > 0
+
+    def test_row_lookup_raises_on_unknown_name(self, paper_gaps):
+        with pytest.raises(KeyError):
+            paper_gaps.row("nope")
+
+    def test_unknown_heuristic_rejected(self):
+        g = paper_example_graph()
+        pl = paper_placement()
+        with pytest.raises(ValueError, match="nope"):
+            optimality_gaps(
+                g, pl, paper_assignment(g, pl), heuristics=("nope",)
+            )
+
+
+class TestScorecard:
+    def test_render_lists_every_heuristic(self):
+        card = gap_scorecard(
+            ExperimentContext(), workloads=("paper",), procs=(2,)
+        )
+        out = card.render()
+        assert "Scorecard" in out
+        for name in GAP_HEURISTICS:
+            assert name in out
+        assert "=16" in out and "=7" in out
+
+    def test_cli_gaps_runs_clean(self, capsys):
+        assert main(["gaps", "--workloads", "paper"]) == 0
+        out = capsys.readouterr().out
+        assert "exact" in out and "proved optimal" in out
+
+    def test_cli_gaps_rejects_unknown_heuristic(self, capsys):
+        assert main(["gaps", "--heuristics", "bogus"]) == 2
+        err = capsys.readouterr().err
+        assert "bogus" in err
+        for name in GAP_HEURISTICS:
+            assert name in err
+
+    def test_cli_gaps_rejects_unknown_workload(self, capsys):
+        assert main(["gaps", "--workloads", "nope"]) == 2
+        err = capsys.readouterr().err
+        assert "nope" in err and "chol15" in err
+
+
+class TestSweepWiring:
+    def test_sweep_accepts_the_new_heuristics(self):
+        records = full_sweep(
+            ExperimentContext(),
+            workloads=("etree15",),
+            procs=(2,),
+            heuristics=("rcp", "etf", "tree"),
+        )
+        seen = {r.heuristic for r in records}
+        assert seen == {"rcp", "etf", "tree"}
+
+    def test_sweep_rejects_unknown_heuristic_upfront(self):
+        with pytest.raises(ValueError, match="bogus"):
+            full_sweep(ExperimentContext(), heuristics=("rcp", "bogus"))
+
+    def test_cli_sweep_exits_2_and_lists_choices(self, tmp_path, capsys):
+        rc = main([
+            "sweep", "--heuristics", "bogus",
+            "--out", str(tmp_path / "s.csv"),
+        ])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "bogus" in err and "rcp" in err and "tree" in err
+
+    def test_workload_error_names_the_choices(self):
+        with pytest.raises(KeyError, match="chol15"):
+            ExperimentContext().problem("not-a-workload")

@@ -1,0 +1,121 @@
+"""Unit tests of the exact branch-and-bound (:mod:`repro.opt.exact`)."""
+
+import pytest
+
+from repro.core import (
+    analyze_memory,
+    block_placement,
+    cyclic_placement,
+    gantt,
+    owner_compute_assignment,
+)
+from repro.errors import SchedulingError
+from repro.graph import generators as gen
+from repro.graph.paper_example import (
+    paper_assignment,
+    paper_example_graph,
+    paper_placement,
+)
+from repro.opt.exact import (
+    BEST_FOUND,
+    PROVED_OPTIMAL,
+    SEED_HEURISTICS,
+    exact_order,
+    solve,
+    solve_over_placements,
+)
+
+
+@pytest.fixture(scope="module")
+def paper_case():
+    g = paper_example_graph()
+    pl = paper_placement()
+    return g, pl, paper_assignment(g, pl)
+
+
+class TestPaperExample:
+    def test_time_objective_proves_16(self, paper_case):
+        res = solve(*paper_case, objective="time")
+        assert res.status == PROVED_OPTIMAL
+        assert res.value == pytest.approx(16.0, abs=1e-9)
+        assert gantt(res.schedule).makespan == pytest.approx(res.value)
+
+    def test_memory_objective_proves_the_dts_value(self, paper_case):
+        # The paper's Figure 5 DTS schedule reaches MIN_MEM 7; the
+        # solver proves no schedule of this mapping does better.
+        res = solve(*paper_case, objective="memory")
+        assert res.status == PROVED_OPTIMAL
+        assert res.value == 7
+        assert analyze_memory(res.schedule).min_mem == 7
+
+    def test_lower_bound_matches_value_when_proved(self, paper_case):
+        for objective in ("time", "memory"):
+            res = solve(*paper_case, objective=objective)
+            assert res.proved
+            assert res.lower_bound <= res.value + 1e-9
+
+    def test_incumbent_source_is_a_seed_or_the_search(self, paper_case):
+        res = solve(*paper_case, objective="memory")
+        assert res.incumbent_source in SEED_HEURISTICS + ("search",)
+
+
+class TestExactOrder:
+    def test_meta_records_the_certificate(self, paper_case):
+        s = exact_order(*paper_case, objective="memory")
+        assert s.meta["heuristic"] == "EXACT"
+        assert s.meta["exact_objective"] == "memory"
+        assert s.meta["exact_status"] == PROVED_OPTIMAL
+        assert s.meta["exact_lower_bound"] <= 7
+        s.validate()
+
+    def test_infeasible_capacity_raises(self, paper_case):
+        g, pl, asg = paper_case
+        opt = int(solve(g, pl, asg, objective="memory").value)
+        with pytest.raises(SchedulingError):
+            exact_order(g, pl, asg, objective="memory", capacity=opt - 1)
+
+    def test_capacity_at_optimum_is_schedulable(self, paper_case):
+        g, pl, asg = paper_case
+        s = exact_order(g, pl, asg, objective="memory", capacity=7)
+        assert analyze_memory(s).min_mem <= 7
+
+
+class TestArguments:
+    def test_unknown_objective_raises(self, paper_case):
+        with pytest.raises(ValueError, match="objective"):
+            solve(*paper_case, objective="latency")
+
+    def test_empty_placement_cases_raise(self, paper_case):
+        with pytest.raises(ValueError):
+            solve_over_placements(paper_case[0], [])
+
+
+class TestBudget:
+    def test_exhaustion_degrades_to_best_found(self):
+        g = gen.random_trace(24, 6, seed=3)
+        pl = cyclic_placement(g, 3)
+        asg = owner_compute_assignment(g, pl)
+        res = solve(g, pl, asg, objective="time", node_budget=5)
+        assert res.status == BEST_FOUND
+        assert res.nodes <= 5
+        assert res.schedule is not None
+        assert res.lower_bound <= res.value + 1e-9
+
+    def test_budget_is_recorded(self, paper_case):
+        res = solve(*paper_case, objective="time", node_budget=123)
+        assert res.node_budget == 123
+
+
+class TestOverPlacements:
+    def test_best_of_cyclic_and_block(self, paper_case):
+        g = paper_case[0]
+        cases = []
+        for make in (cyclic_placement, block_placement):
+            pl = make(g, 2)
+            cases.append((pl, owner_compute_assignment(g, pl)))
+        best = solve_over_placements(g, cases, objective="memory")
+        singles = [
+            solve(g, pl, asg, objective="memory") for pl, asg in cases
+        ]
+        assert best.value == min(s.value for s in singles)
+        assert best.proved

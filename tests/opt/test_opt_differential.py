@@ -1,0 +1,89 @@
+"""Cross-layer differential checks for the new heuristics.
+
+Every schedule the new orderings (etf / tree / exact) produce must run
+clean through the *whole* verification stack built in earlier PRs:
+
+* the static analyzer (0 error-severity SA* findings),
+* the conformance invariant checker + differential oracle,
+* the array-compiled engine (exact equality with the interpreted one).
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.analysis import analyze_schedule
+from repro.conformance import run_check
+from repro.core import cyclic_placement, owner_compute_assignment
+from repro.errors import DeadlockError, SimulationError
+from repro.graph import generators as gen
+from repro.graph.paper_example import (
+    paper_assignment,
+    paper_example_graph,
+    paper_placement,
+)
+from repro.machine import UNIT_MACHINE, Simulator
+from repro.machine.simulator import CompiledSchedule, ProcessorStats
+from repro.rapid.inspector import order_with
+
+NEW_HEURISTICS = ("etf", "tree", "exact")
+STAT_FIELDS = [f.name for f in dataclasses.fields(ProcessorStats)]
+
+
+def cases():
+    g = paper_example_graph()
+    pl = paper_placement()
+    yield "paper", g, pl, paper_assignment(g, pl)
+    g = gen.random_trace(25, 5, seed=11)
+    pl = cyclic_placement(g, 3)
+    yield "trace25", g, pl, owner_compute_assignment(g, pl)
+
+
+def schedules():
+    for label, g, pl, asg in cases():
+        for h in NEW_HEURISTICS:
+            yield pytest.param(
+                order_with(h, g, pl, asg), id=f"{label}-{h}"
+            )
+
+
+def assert_engines_agree(compiled, capacity):
+    outcomes = {}
+    for engine in ("interpreted", "compiled"):
+        try:
+            outcomes[engine] = ("ok", Simulator(
+                spec=UNIT_MACHINE, capacity=capacity,
+                compiled=compiled, engine=engine,
+            ).run())
+        except (SimulationError, DeadlockError) as e:
+            outcomes[engine] = (type(e).__name__, str(e))
+    ka, kb = outcomes["interpreted"], outcomes["compiled"]
+    if ka[0] != "ok" or kb[0] != "ok":
+        assert ka == kb
+        return
+    ra, rb = ka[1], kb[1]
+    assert rb.engine == "compiled", "compiled run silently fell back"
+    assert ra.parallel_time == rb.parallel_time
+    assert ra.task_finish_time == rb.task_finish_time
+    for sa, sb in zip(ra.stats, rb.stats):
+        for f in STAT_FIELDS:
+            assert getattr(sa, f) == getattr(sb, f), f
+
+
+@pytest.mark.parametrize("schedule", list(schedules()))
+class TestNewHeuristicSchedules:
+    def test_static_analyzer_is_clean(self, schedule):
+        report = analyze_schedule(schedule, fraction=1.0)
+        assert report.ok, [str(d) for d in report.errors]
+
+    def test_conformance_check_is_clean(self, schedule):
+        report = run_check(schedule)
+        assert report.ok, report.summary()
+        assert not report.violations
+
+    def test_compiled_engine_matches_interpreted(self, schedule):
+        cs = CompiledSchedule(schedule)
+        prof = cs.profile
+        for cap in sorted({prof.min_mem, (prof.min_mem + prof.tot) // 2,
+                           prof.tot}):
+            assert_engines_agree(cs, cap)

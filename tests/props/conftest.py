@@ -1,0 +1,25 @@
+"""Hypothesis profiles for the property suites.
+
+``repro-fixed`` (the default) is derandomized: every run draws the same
+examples, so CI failures reproduce locally byte-for-byte.  Select the
+exploratory profile with ``HYPOTHESIS_PROFILE=repro-dev`` to let
+hypothesis hunt with fresh randomness.
+"""
+
+import os
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "repro-fixed",
+    derandomize=True,
+    deadline=None,
+    max_examples=25,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile(
+    "repro-dev",
+    deadline=None,
+    max_examples=50,
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "repro-fixed"))

@@ -65,6 +65,7 @@ DEFAULT_GATES: dict[str, str] = {
     "obs.traced_vs_plain": "max",
     "sweep.serial_s": "max",
     "sweep.parallel_s": "max",
+    "opt.exact_paper_s": "max",
 }
 
 
