@@ -15,8 +15,25 @@ address-package protocol with Theorem 1's wait-for argument
 Findings are typed :class:`~repro.analysis.diagnostics.Diagnostic`
 values with stable rule codes shared with the dynamic invariant
 catalogue, exportable as text, ``repro-analysis/1`` JSON, or SARIF.
+
+Two further static layers close the loop around the compiled engine:
+:mod:`repro.analysis.bounds` certifies PT/MIN_MEM *lower bounds* from
+the graph + placement alone (``SA4xx``, opt-in via
+``analyze_schedule(bounds=True)``), and :mod:`repro.analysis.irverify`
+verifies the lowered ``LoweredSchedule``/``ExecPlan`` IR the way
+``llvm::verifyModule`` verifies a module (``SA5xx``, automatic behind
+``REPRO_VERIFY_IR`` or on demand via ``repro analyze --verify-ir``).
 """
 
+from .bounds import (
+    Bound,
+    BoundSet,
+    bounds_pass,
+    certified_bounds,
+    memory_bounds,
+    schedule_bounds,
+    time_bounds,
+)
 from .diagnostics import Diagnostic, INVARIANT_RULES, RULES, Rule, Severity
 from .engine import (
     AnalysisContext,
@@ -27,10 +44,18 @@ from .engine import (
 )
 from .formats import render_text, to_json, to_sarif
 from .harness import analyze_batch, analyze_overwrite_demo
+from .irverify import (
+    debug_verify,
+    verify_exec_plan,
+    verify_lowering,
+    verify_report,
+)
 
 __all__ = [
     "AnalysisContext",
     "AnalysisReport",
+    "Bound",
+    "BoundSet",
     "Diagnostic",
     "INVARIANT_RULES",
     "RULES",
@@ -40,8 +65,17 @@ __all__ = [
     "analyze_overwrite_demo",
     "analyze_plan",
     "analyze_schedule",
+    "bounds_pass",
+    "certified_bounds",
+    "debug_verify",
+    "memory_bounds",
     "pick_capacity",
     "render_text",
+    "schedule_bounds",
+    "time_bounds",
     "to_json",
     "to_sarif",
+    "verify_exec_plan",
+    "verify_lowering",
+    "verify_report",
 ]

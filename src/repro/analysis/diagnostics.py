@@ -159,6 +159,69 @@ _RULE_TABLE = (
         "re-topologically-sort the per-processor orders; no task may be "
         "ordered before one of its DAG predecessors' sequence chain",
     ),
+    # -- SA4xx: certified static bounds (Defs 5-6) --------------------
+    Rule(
+        "SA401", "certified-bounds", Severity.INFO,
+        "Definitions 5-6",
+        "the certified PT/MIN_MEM lower bounds and their certificates",
+        "advisory only; compare the schedule's numbers against the "
+        "bounds to judge how far a heuristic is from optimal",
+    ),
+    Rule(
+        "SA402", "pt-beats-bound", Severity.ERROR,
+        "Definition 1 / section 4.1",
+        "the schedule's predicted PT undercuts a certified lower bound",
+        "no valid schedule can beat the bound; audit the cost model, "
+        "the task weights and the Gantt computation for corruption",
+    ),
+    Rule(
+        "SA403", "min-mem-beats-bound", Severity.ERROR,
+        "Definitions 5-6",
+        "the profile's MIN_MEM undercuts a certified lower bound",
+        "no valid order can run below the residency bound; audit the "
+        "liveness analysis and the object sizes for corruption",
+    ),
+    # -- SA5xx: lowered-IR verification (compiled engine) -------------
+    Rule(
+        "SA501", "csr-well-formed", Severity.ERROR,
+        "ROADMAP item 1",
+        "a lowered CSR table has non-monotone pointers or out-of-space "
+        "indices",
+        "the lowering is structurally corrupt; rebuild it (clear the "
+        "CompiledSchedule caches) and report the lowering bug",
+    ),
+    Rule(
+        "SA502", "id-space-bijective", Severity.ERROR,
+        "ROADMAP item 1",
+        "a lowered id space does not invert to the schedule or graph "
+        "entity it encodes",
+        "tids/oids/mks must round-trip their index dicts exactly; a "
+        "mismatch means the lowering and the schedule disagree",
+    ),
+    Rule(
+        "SA503", "version-table-consistent", Severity.ERROR,
+        "section 3 / Definition 4",
+        "the static dispatch-version flags or waiter lists disagree "
+        "with the schedule's wait-for data",
+        "recompute od_ok0/od_ow from the per-processor order scan; a "
+        "drift here silently corrupts version-validity verdicts",
+    ),
+    Rule(
+        "SA504", "opcode-stream-valid", Severity.ERROR,
+        "ROADMAP item 1",
+        "a step program skips/duplicates a task or a SEG run contains "
+        "a non-silent task",
+        "SEG runs may only cover tasks with no inputs, messages or "
+        "consumptions; regenerate the exec plan",
+    ),
+    Rule(
+        "SA505", "cost-table-sane", Severity.ERROR,
+        "section 5 cost model",
+        "a precomputed cost/weight/size is negative, non-finite or "
+        "does not reproduce the machine spec's expression",
+        "costs must equal the interpreted engine's exact float "
+        "expressions; rebuild the exec plan for this spec",
+    ),
 )
 
 #: code -> :class:`Rule` for the whole catalogue.

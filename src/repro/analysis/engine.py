@@ -18,8 +18,9 @@ from typing import Optional
 
 from ..core.liveness import MemoryProfile, analyze_memory
 from ..core.maps import MapPlan, plan_maps
-from ..core.schedule import Schedule
+from ..core.schedule import CommModel, Schedule
 from ..errors import NonExecutableScheduleError
+from .bounds import bounds_pass
 from .diagnostics import Diagnostic, Severity
 from .memory import memory_pass
 from .protocol import protocol_pass
@@ -57,6 +58,9 @@ class AnalysisContext:
     profile: MemoryProfile
     #: ``None`` when the schedule is non-executable under the capacity.
     plan: Optional[MapPlan]
+    #: Communication model of the SA4xx bound comparisons; ``None``
+    #: falls back to the unit-cost model of the worked examples.
+    comm: Optional[CommModel] = None
 
 
 @dataclass
@@ -122,6 +126,8 @@ def analyze_schedule(
     profile: Optional[MemoryProfile] = None,
     plan: Optional[MapPlan] = None,
     label: str = "",
+    bounds: bool = False,
+    comm: Optional[CommModel] = None,
 ) -> AnalysisReport:
     """Statically analyze ``schedule`` under a capacity.
 
@@ -131,6 +137,11 @@ def analyze_schedule(
     computed with :func:`repro.core.maps.plan_maps`; a non-executable
     schedule yields no plan and is reported via ``SA101`` instead of
     raising.
+
+    ``bounds=True`` additionally runs the certified-bound pass
+    (``SA401``-``SA403``, see :mod:`repro.analysis.bounds`) under
+    ``comm`` — opt-in because it prices a Gantt evaluation on top of
+    the O(plan) core pipeline.
     """
     if profile is None:
         profile = plan.profile if plan is not None else analyze_memory(schedule)
@@ -143,7 +154,8 @@ def analyze_schedule(
         except NonExecutableScheduleError:  # defensive; SA101 covers it
             plan = None
     ctx = AnalysisContext(
-        schedule=schedule, capacity=capacity, profile=profile, plan=plan
+        schedule=schedule, capacity=capacity, profile=profile, plan=plan,
+        comm=comm,
     )
     report = AnalysisReport(
         label=label or schedule.meta.get("heuristic", "schedule"),
@@ -152,6 +164,8 @@ def analyze_schedule(
     )
     for p in _PASSES:
         report.diagnostics.extend(p(ctx))
+    if bounds:
+        report.diagnostics.extend(bounds_pass(ctx))
     return report
 
 

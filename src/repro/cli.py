@@ -24,6 +24,9 @@ Usage::
     python -m repro check --fault overwrite --trace-out fail.json
     python -m repro analyze --seed 7   # static sanitizer, no simulation
     python -m repro analyze --fault overwrite --format sarif --out out.sarif
+    python -m repro analyze --workload etree15 --heuristic rcp --verify-ir
+    python -m repro analyze --strict   # advisory findings fail the run too
+    python -m repro sweep --bounds     # + certified-bound columns
 """
 
 from __future__ import annotations
@@ -271,9 +274,17 @@ def _run_analyze(args) -> int:
     """Static schedule sanitizer: the same cases as ``check``, analyzed
     in O(plan) with no simulation.
 
-    Exit status is 0 iff no error-severity finding — so
-    ``repro analyze --fault overwrite`` exits non-zero by design (the
+    Exit codes (documented in ``docs/analysis.md``): 0 — every report
+    clean of error-severity findings (advisories allowed); 1 — at least
+    one error finding, or, under ``--strict``, at least one advisory
+    (warning/info) finding; 2 — usage errors.  So
+    ``repro analyze --fault overwrite`` exits 1 by design (the
     buggy-planner demo must be flagged with its SA3xx cycle witness).
+
+    ``--verify-ir`` appends an IR-verifier report (SA5xx; see
+    :mod:`repro.analysis.irverify`) over the workload's lowering and
+    exec plan; ``--bounds`` runs the certified-bound pass
+    (SA401-SA403) on the workload report.
     """
     import json
 
@@ -284,16 +295,25 @@ def _run_analyze(args) -> int:
         render_text,
         to_json,
         to_sarif,
+        verify_report,
     )
 
+    reports = []
     if args.workload != "paper":
-        _spec, compiled, capacity, prof = _resolve_workload(args)
+        spec, compiled, capacity, prof = _resolve_workload(args)
         reports = [analyze_schedule(
             compiled.schedule,
             capacity=max(capacity, 1),
             profile=prof,
             label=f"{args.workload}/{args.heuristic}",
+            bounds=args.bounds,
+            comm=spec.comm_model() if args.bounds else None,
         )]
+        if args.verify_ir:
+            reports.append(verify_report(
+                compiled, capacity=max(capacity, 1), spec=spec,
+                label=f"{args.workload}/{args.heuristic}/irverify",
+            ))
     else:
         faults = None
         if args.fault:
@@ -311,6 +331,13 @@ def _run_analyze(args) -> int:
             # Same extra case as `check --fault overwrite`: organic
             # plans are self-throttling, the demo plan is not.
             reports.append(analyze_overwrite_demo())
+        if args.verify_ir:
+            # Verify the worked example's lowering alongside the batch.
+            spec, compiled, capacity, _prof = _resolve_workload(args)
+            reports.append(verify_report(
+                compiled, capacity=capacity, spec=spec,
+                label="paper/irverify",
+            ))
 
     if args.format == "json":
         doc = json.dumps(to_json(reports), indent=2, sort_keys=True)
@@ -329,9 +356,15 @@ def _run_analyze(args) -> int:
     else:
         print(doc)
     clean = sum(1 for r in reports if r.ok)
+    advisory = sum(1 for r in reports if r.ok and r.diagnostics)
     if args.format == "text" or out is not None:
-        print(f"{clean}/{len(reports)} plans statically clean")
-    return 0 if clean == len(reports) else 1
+        tail = f" ({advisory} with advisories)" if advisory else ""
+        print(f"{clean}/{len(reports)} plans statically clean{tail}")
+    if clean != len(reports):
+        return 1
+    if args.strict and advisory:
+        return 1
+    return 0
 
 
 def run_experiment(name: str, ctx: ExperimentContext, args) -> str:
@@ -433,6 +466,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--analyze", action="store_true",
                         help="sweep: statically analyze every cell and add "
                              "an 'analysis_errors' column")
+    parser.add_argument("--strict", action="store_true",
+                        help="analyze: exit 1 on advisory (warning/info) "
+                             "findings too, not only on errors")
+    parser.add_argument("--verify-ir", action="store_true",
+                        help="analyze: verify the workload's compiled-engine "
+                             "lowering and exec plan (SA5xx; see "
+                             "docs/analysis.md)")
+    parser.add_argument("--bounds", action="store_true",
+                        help="sweep: add certified-bound columns (pt_bound, "
+                             "mem_bound, *_gap) to the CSV; analyze: run the "
+                             "certified-bound pass (SA401-SA403)")
     parser.add_argument("--engine", default="interpreted",
                         choices=("interpreted", "compiled"),
                         help="sweep: simulator engine; 'compiled' runs the "
@@ -602,6 +646,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 analyze=args.analyze,
                 engine=args.engine,
                 engine_stats=args.engine_stats,
+                bounds=args.bounds,
                 runtime=runtime,
                 checkpoint=args.checkpoint,
                 resume=args.resume,

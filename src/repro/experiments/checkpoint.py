@@ -92,6 +92,7 @@ def grid_fingerprint(
     analyze: bool,
     engine: str,
     engine_stats: bool = False,
+    bounds: bool = False,
     harness_faults=None,
 ) -> str:
     """Content hash of everything that shapes a sweep's records.
@@ -99,7 +100,7 @@ def grid_fingerprint(
     Two sweeps share a checkpoint iff their fingerprints match; ``jobs``
     and the runtime policy are deliberately excluded (they change how
     the grid is executed, never what a cell's record contains).
-    ``engine_stats`` shapes records (it fills the opt-in engine
+    ``engine_stats`` and ``bounds`` shape records (they fill opt-in
     columns), and ``harness_faults`` (a
     :class:`~repro.experiments.runtime.HarnessFaultSpec` or ``None``)
     shapes them too — an injected fault can turn a group into failure
@@ -119,6 +120,7 @@ def grid_fingerprint(
         "analyze": bool(analyze),
         "engine": engine,
         "engine_stats": bool(engine_stats),
+        "bounds": bool(bounds),
         "harness_faults": (
             repr(harness_faults) if harness_faults is not None else None
         ),

@@ -83,6 +83,15 @@ class CellMetrics:
     #: stay ``None`` — nothing ran.
     engine_used: Optional[str] = None
     fallback_reason: Optional[str] = None
+    #: Certified static lower bounds (``collect_bounds=True``; see
+    #: :mod:`repro.analysis.bounds`).  Static like ``analysis_errors``:
+    #: even a non-executable cell gets real bound values — only the
+    #: ``pt_bound_gap`` becomes ``inf`` there (no PT to compare).
+    pt_bound: Optional[float] = None
+    mem_bound: Optional[float] = None
+    #: Relative slack of the cell over its bound, ``value/bound - 1``.
+    pt_bound_gap: Optional[float] = None
+    mem_bound_gap: Optional[float] = None
 
     @property
     def pt_increase_pct(self) -> float:
@@ -102,6 +111,7 @@ class ExperimentContext:
         self._baseline_pt: dict[tuple, float] = {}
         self._sims: dict[tuple, tuple[SimResult, Optional[int]]] = {}
         self._analysis: dict[tuple, float] = {}
+        self._bounds: dict[tuple, object] = {}
 
     # -- workloads -------------------------------------------------------
 
@@ -266,6 +276,30 @@ class ExperimentContext:
             self._analysis[ak] = float(len(report.errors))
         return self._analysis[ak]
 
+    def bounds_for(
+        self, key: str, p: int, heuristic: str,
+        capacity: Optional[int] = None,
+    ):
+        """Certified PT/MIN_MEM lower bounds for one cell's schedule
+        (cached; see :func:`repro.analysis.schedule_bounds`).
+
+        The bounds depend only on the graph, placement and assignment —
+        not on the per-processor orders — so every heuristic of one
+        (workload, procs) pair shares the same
+        :class:`~repro.analysis.BoundSet`; the cache key keeps the
+        heuristic anyway because a capacity-merged schedule (DTS) can
+        coarsen the graph itself.
+        """
+        bk = (key, p, heuristic, capacity)
+        if bk not in self._bounds:
+            from ..analysis import schedule_bounds
+
+            self._bounds[bk] = schedule_bounds(
+                self.schedule(key, p, heuristic, capacity),
+                comm=self.spec.comm_model(),
+            )
+        return self._bounds[bk]
+
     def run_cell(
         self,
         key: str,
@@ -279,6 +313,7 @@ class ExperimentContext:
         collect_analysis: bool = False,
         engine: str = "interpreted",
         collect_engine: bool = False,
+        collect_bounds: bool = False,
     ) -> CellMetrics:
         """Measure one table cell.
 
@@ -306,6 +341,11 @@ class ExperimentContext:
         (``fallback_reason``); it reads the cached
         :class:`~repro.machine.simulator.SimResult` and never changes
         what runs.
+
+        ``collect_bounds=True`` fills the certified static lower
+        bounds (``pt_bound``/``mem_bound``) and the cell's relative
+        slack over them (``*_bound_gap``); purely static, cached per
+        (workload, procs, heuristic) via :meth:`bounds_for`.
         """
         tot = (
             self.reference_tot(key, p)
@@ -316,6 +356,14 @@ class ExperimentContext:
         cap_arg = capacity if merge_capacity else None
         prof = self.profile(key, p, heuristic, cap_arg)
         base = self.baseline_pt(key, p, engine)
+        pt_bound = mem_bound = mem_bound_gap = None
+        if collect_bounds:
+            bset = self.bounds_for(key, p, heuristic, cap_arg)
+            pt_bound = bset.pt.value
+            mem_bound = bset.min_mem.value
+            mem_bound_gap = (
+                prof.min_mem / mem_bound - 1.0 if mem_bound > 0 else INF
+            )
         if prof.min_mem > capacity:
             return CellMetrics(
                 executable=False, capacity=capacity, min_mem=prof.min_mem, tot=tot,
@@ -327,6 +375,10 @@ class ExperimentContext:
                     self.analysis_errors(key, p, heuristic, capacity, cap_arg)
                     if collect_analysis else None
                 ),
+                pt_bound=pt_bound,
+                mem_bound=mem_bound,
+                pt_bound_gap=INF if collect_bounds else None,
+                mem_bound_gap=mem_bound_gap,
             )
         sk = (
             key, p, heuristic, cap_arg, capacity, collect_metrics,
@@ -370,6 +422,14 @@ class ExperimentContext:
             ),
             engine_used=res.engine if collect_engine else None,
             fallback_reason=res.fallback_reason if collect_engine else None,
+            pt_bound=pt_bound,
+            mem_bound=mem_bound,
+            pt_bound_gap=(
+                (res.parallel_time / pt_bound - 1.0
+                 if pt_bound and pt_bound > 0 else INF)
+                if collect_bounds else None
+            ),
+            mem_bound_gap=mem_bound_gap,
         )
 
     def engine_counters(self) -> dict:

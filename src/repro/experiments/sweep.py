@@ -68,6 +68,12 @@ CHECK_FIELDS = ("violations",)
 #: ``analyze=True`` (opt-in, same contract).
 ANALYZE_FIELDS = ("analysis_errors",)
 
+#: Certified-bound columns appended when the sweep ran with
+#: ``bounds=True`` (opt-in, same contract): the static lower bounds of
+#: :mod:`repro.analysis.bounds` and each cell's relative slack over
+#: them.
+BOUNDS_FIELDS = ("pt_bound", "mem_bound", "pt_bound_gap", "mem_bound_gap")
+
 #: Engine introspection columns appended when the sweep ran with
 #: ``engine_stats=True`` (opt-in, same contract): which engine actually
 #: executed each cell and why a requested-compiled cell fell back.
@@ -101,6 +107,12 @@ class SweepRecord:
     violations: Optional[float] = None
     #: populated only by ``full_sweep(..., analyze=True)``
     analysis_errors: Optional[float] = None
+    #: populated only by ``full_sweep(..., bounds=True)``: certified
+    #: static lower bounds and the cell's relative slack over them
+    pt_bound: Optional[float] = None
+    mem_bound: Optional[float] = None
+    pt_bound_gap: Optional[float] = None
+    mem_bound_gap: Optional[float] = None
     #: populated only by ``full_sweep(..., engine_stats=True)``:
     #: the engine that executed the cell and the fallback reason of a
     #: requested-compiled cell that ran interpreted (empty otherwise)
@@ -127,6 +139,7 @@ def _run_group(
     analyze: bool = False,
     engine: str = "interpreted",
     engine_stats: bool = False,
+    bounds: bool = False,
 ) -> list[SweepRecord]:
     """All records of one (workload, procs) group, in grid order."""
     out: list[SweepRecord] = []
@@ -135,7 +148,7 @@ def _run_group(
             cell = ctx.run_cell(
                 key, p, h, f, reference=reference, collect_metrics=metrics,
                 collect_check=check, collect_analysis=analyze, engine=engine,
-                collect_engine=engine_stats,
+                collect_engine=engine_stats, collect_bounds=bounds,
             )
             out.append(
                 SweepRecord(
@@ -155,6 +168,10 @@ def _run_group(
                     max_suspq=cell.max_suspq,
                     violations=cell.violations,
                     analysis_errors=cell.analysis_errors,
+                    pt_bound=cell.pt_bound,
+                    mem_bound=cell.mem_bound,
+                    pt_bound_gap=cell.pt_bound_gap,
+                    mem_bound_gap=cell.mem_bound_gap,
                     engine_used=cell.engine_used,
                     fallback_reason=cell.fallback_reason,
                 )
@@ -180,11 +197,11 @@ def _worker_init(spec, registered) -> None:
 
 def _worker_run_group(args) -> list[SweepRecord]:
     (key, p, heuristics, fractions, reference, metrics, check, analyze,
-     engine, engine_stats) = args
+     engine, engine_stats, bounds) = args
     assert _WORKER_CTX is not None
     return _run_group(
         _WORKER_CTX, key, p, heuristics, fractions, reference, metrics, check,
-        analyze, engine, engine_stats,
+        analyze, engine, engine_stats, bounds,
     )
 
 
@@ -241,6 +258,7 @@ def full_sweep(
     analyze: bool = False,
     engine: str = "interpreted",
     engine_stats: bool = False,
+    bounds: bool = False,
     runtime=None,
     checkpoint: Optional[str] = None,
     resume: bool = False,
@@ -299,6 +317,14 @@ def full_sweep(
     columns (which engine executed each cell and the fallback reason of
     a requested-compiled cell that ran interpreted).
 
+    ``bounds=True`` fills the opt-in :data:`BOUNDS_FIELDS` columns with
+    the certified static lower bounds of :mod:`repro.analysis.bounds`
+    (``pt_bound``/``mem_bound``) and each cell's relative slack over
+    them (``value/bound - 1``; ``pt_bound_gap`` is ``inf`` on
+    non-executable cells).  Purely static — no extra simulation — and
+    cached per (workload, procs, heuristic), so the fraction axis
+    reuses one computation.
+
     ``obs_dir`` (a directory path) makes the run *observed*: the
     supervisor and every worker append runtime-trace shards there
     (schema ``repro-runtime-trace/1``; see :mod:`repro.obs.runtime`),
@@ -328,13 +354,13 @@ def full_sweep(
             out.extend(
                 _run_group(
                     ctx, key, p, heuristics, fractions, reference, metrics,
-                    check, analyze, engine, engine_stats,
+                    check, analyze, engine, engine_stats, bounds,
                 )
             )
         return out
     tasks = [
         (key, p, tuple(heuristics), tuple(fractions), reference, metrics,
-         check, analyze, engine, engine_stats)
+         check, analyze, engine, engine_stats, bounds)
         for key, p in groups
     ]
     registered = ctx.shipped_problems(workloads)
@@ -374,7 +400,8 @@ def full_sweep(
             grid_fingerprint(
                 ctx.spec, workloads, procs, heuristics, fractions, reference,
                 metrics, check, analyze, engine,
-                engine_stats=engine_stats, harness_faults=harness_faults,
+                engine_stats=engine_stats, bounds=bounds,
+                harness_faults=harness_faults,
             ),
         )
         journal.start(resume=resume)
@@ -440,7 +467,8 @@ def to_csv(records: Iterable[SweepRecord], path: Optional[str] = None) -> str:
     The telemetry columns of :data:`METRIC_FIELDS` appear only when some
     record carries them (i.e. the sweep ran with ``metrics=True``), the
     ``violations`` column only when the sweep ran with ``check=True``,
-    the :data:`ENGINE_FIELDS` only with ``engine_stats=True``, and the
+    the :data:`BOUNDS_FIELDS` only with ``bounds=True``, the
+    :data:`ENGINE_FIELDS` only with ``engine_stats=True``, and the
     :data:`FAILURE_FIELDS` only when a supervised sweep recorded a
     failure; without them the output is byte-identical to a plain
     sweep's CSV.
@@ -456,6 +484,8 @@ def to_csv(records: Iterable[SweepRecord], path: Optional[str] = None) -> str:
         fields = fields + CHECK_FIELDS
     if any(r.analysis_errors is not None for r in records):
         fields = fields + ANALYZE_FIELDS
+    if any(r.pt_bound is not None for r in records):
+        fields = fields + BOUNDS_FIELDS
     if any(r.engine_used is not None for r in records):
         fields = fields + ENGINE_FIELDS
     if any(r.status is not None for r in records):
@@ -514,6 +544,10 @@ def from_csv(text: str) -> list[SweepRecord]:
                 max_suspq=opt("max_suspq"),
                 violations=opt("violations"),
                 analysis_errors=opt("analysis_errors"),
+                pt_bound=opt("pt_bound"),
+                mem_bound=opt("mem_bound"),
+                pt_bound_gap=opt("pt_bound_gap"),
+                mem_bound_gap=opt("mem_bound_gap"),
                 engine_used=opt_str("engine_used"),
                 fallback_reason=opt_str("fallback_reason"),
                 status=opt_str("status"),

@@ -277,7 +277,10 @@ class GapScorecard:
     (workload, processors) instance.  Gap semantics follow
     :mod:`repro.opt.gaps`: exact against a proved optimum (``=``
     reference rows), an upper bound on the true gap against a certified
-    lower bound (``>=`` reference rows).
+    lower bound (``>=`` reference rows).  An unproved reference is the
+    stronger of the solver's root bound and the closed-form static
+    bound of :mod:`repro.analysis.bounds`; a trailing ``†`` marks
+    references the static bound supplied (see ``docs/analysis.md``).
     """
 
     node_budget: int
@@ -291,10 +294,12 @@ class GapScorecard:
         for e in self.entries:
             t_mark = "=" if e.time.proved else ">="
             m_mark = "=" if e.memory.proved else ">="
+            t_src = "†" if e.time_ref_source == "static-bound" else ""
+            m_src = "†" if e.mem_ref_source == "static-bound" else ""
             rows.append([
                 e.workload, str(e.procs), "exact",
-                f"{t_mark}{e.time_ref:.4g}", "-",
-                f"{m_mark}{e.mem_ref:g}", "-",
+                f"{t_mark}{e.time_ref:.4g}{t_src}", "-",
+                f"{m_mark}{e.mem_ref:g}{m_src}", "-",
             ])
             for r in e.rows:
                 rows.append([
@@ -310,6 +315,7 @@ class GapScorecard:
         return table + (
             "\n(reference rows: '=' proved optimal, '>=' certified lower "
             f"bound at {self.node_budget} nodes/objective; "
+            "'†' = static bound beat the solver's root bound; "
             "'*' = derives its own placement)"
         )
 

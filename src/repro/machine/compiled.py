@@ -104,6 +104,7 @@ lowering.
 from __future__ import annotations
 
 import heapq
+import os
 from time import perf_counter
 from typing import Optional
 
@@ -465,6 +466,12 @@ def lower_schedule(cs) -> LoweredSchedule:
 
     cs.counters["lower_s"] += perf_counter() - _t0_lower
     cs._lowered = lo
+    if os.environ.get("REPRO_VERIFY_IR"):
+        # Debug path: verify the fresh lowering like llvm::verifyModule
+        # (memoised above, so the verifier's re-entry hits the cache).
+        from ..analysis.irverify import debug_verify
+
+        debug_verify(cs)
     return lo
 
 
@@ -623,6 +630,11 @@ def get_exec_plan(
     ep.pkg_ak_ptr_l, ep.pkg_ak_l = pkg_ak_ptr_l, pkg_ak_l
     cs.counters["exec_plan_s"] += perf_counter() - _t0_plan
     cs._exec_plans[key] = ep
+    if os.environ.get("REPRO_VERIFY_IR"):
+        # Debug path: check the step programs before anything runs them.
+        from ..analysis.irverify import debug_verify
+
+        debug_verify(cs, ep)
     return ep
 
 

@@ -226,6 +226,50 @@ class TestWallclockSpan:
         assert lint_rules.check_wallclock_span(ast.parse(src), "runtime.py")
 
 
+class TestRuleRegistrySync:
+    def test_repo_is_in_sync(self):
+        assert lint_rules.check_rule_registry_sync(lint_rules.REPO) == []
+
+    def test_registry_scan_matches_the_importable_rules(self):
+        # The textual scan the check relies on sees every real rule.
+        from repro.analysis import RULES
+
+        text = (lint_rules.REPO / lint_rules.RULE_REGISTRY).read_text()
+        for code in RULES:
+            assert f'"{code}"' in text
+
+    @staticmethod
+    def _copy_repo(tmp_path):
+        import shutil
+
+        for rel in (lint_rules.RULE_REGISTRY, lint_rules.RULE_CATALOGUE):
+            target = tmp_path / rel
+            target.parent.mkdir(parents=True, exist_ok=True)
+            shutil.copy(lint_rules.REPO / rel, target)
+        return tmp_path
+
+    def test_undocumented_rule_is_flagged(self, tmp_path):
+        repo = self._copy_repo(tmp_path)
+        reg = repo / lint_rules.RULE_REGISTRY
+        reg.write_text(reg.read_text() + '\n_EXTRA = "SA999"\n')
+        findings = lint_rules.check_rule_registry_sync(repo)
+        assert len(findings) == 1
+        assert "SA999" in findings[0]
+        assert "no rule-catalogue table row" in findings[0]
+
+    def test_unregistered_doc_row_is_flagged(self, tmp_path):
+        repo = self._copy_repo(tmp_path)
+        doc = repo / lint_rules.RULE_CATALOGUE
+        doc.write_text(
+            doc.read_text()
+            + "\n| SA998 | ghost-rule | error | nowhere | never |\n"
+        )
+        findings = lint_rules.check_rule_registry_sync(repo)
+        assert len(findings) == 1
+        assert "SA998" in findings[0]
+        assert "no registry entry" in findings[0]
+
+
 class TestLintFile:
     def test_machine_package_may_mutate_private_state(self):
         path = lint_rules.REPO / "src/repro/machine/simulator.py"

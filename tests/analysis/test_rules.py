@@ -247,4 +247,6 @@ def test_every_rule_has_a_test_or_catalogue_entry():
         "SA101", "SA102", "SA103",
         "SA201", "SA202", "SA203", "SA204", "SA205", "SA206",
         "SA301", "SA302", "SA303", "SA304",
+        "SA401", "SA402", "SA403",
+        "SA501", "SA502", "SA503", "SA504", "SA505",
     }

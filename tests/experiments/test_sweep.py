@@ -7,6 +7,7 @@ import pytest
 from repro.experiments import ExperimentContext
 from repro.experiments.sweep import (
     ANALYZE_FIELDS,
+    BOUNDS_FIELDS,
     CHECK_FIELDS,
     FAILURE_FIELDS,
     FIELDS,
@@ -51,6 +52,48 @@ class TestFullSweep:
         # exceeds RCP's on this workload
         for p in (4, 8):
             assert by[("mpo", p, 1.0)].min_mem <= by[("rcp", p, 1.0)].min_mem
+
+
+class TestBoundsColumns:
+    """``bounds=True`` populates the certified-bound columns."""
+
+    @pytest.fixture(scope="class")
+    def bounded(self):
+        ctx = ExperimentContext()
+        return full_sweep(
+            ctx,
+            workloads=("lu-goodwin",),
+            procs=(4,),
+            heuristics=("rcp",),
+            fractions=(1.0, 0.5),
+            bounds=True,
+        )
+
+    def test_every_record_carries_the_bounds(self, bounded):
+        for r in bounded:
+            assert r.pt_bound is not None and r.pt_bound > 0
+            assert r.mem_bound is not None and r.mem_bound > 0
+
+    def test_gaps_are_nonnegative(self, bounded):
+        # A certified bound is never beaten: value/bound - 1 >= 0.
+        for r in bounded:
+            if r.executable:
+                assert r.pt_bound_gap >= -1e-9
+                assert r.mem_bound_gap >= -1e-9
+                assert r.parallel_time >= r.pt_bound * (1 - 1e-9)
+            else:
+                assert math.isinf(r.pt_bound_gap)
+
+    def test_bounds_constant_across_the_fraction_axis(self, bounded):
+        # The bounds depend on graph/placement/assignment only, so the
+        # fraction axis reuses one cached computation per cell family.
+        vals = {(r.pt_bound, r.mem_bound) for r in bounded}
+        assert len(vals) == 1
+
+    def test_round_trip_and_header(self, bounded):
+        text = to_csv(bounded)
+        assert text.splitlines()[0] == ",".join(FIELDS + BOUNDS_FIELDS)
+        assert from_csv(text) == bounded
 
 
 class TestParallelSweep:
@@ -149,6 +192,11 @@ OPTIONAL_VARIANTS = {
                         pt_increase=INF, avg_maps=INF),
     "check": dict(violations=0.0),
     "analyze": dict(analysis_errors=2.0),
+    "bounds": dict(pt_bound=16.0, mem_bound=7.0, pt_bound_gap=0.0,
+                   mem_bound_gap=0.0),
+    "bounds-inf": dict(pt_bound=16.0, mem_bound=7.0, pt_bound_gap=INF,
+                       mem_bound_gap=INF, executable=False,
+                       parallel_time=INF, pt_increase=INF, avg_maps=INF),
     "failure": dict(executable=False, parallel_time=INF, pt_increase=INF,
                     avg_maps=INF, capacity=0, min_mem=0, tot=0,
                     status="crashed", error="worker process died, twice",
@@ -175,11 +223,14 @@ class TestCSVOptionalColumnRoundTrips:
             (("metrics",), FIELDS + METRIC_FIELDS),
             (("check",), FIELDS + CHECK_FIELDS),
             (("analyze",), FIELDS + ANALYZE_FIELDS),
+            (("bounds",), FIELDS + BOUNDS_FIELDS),
             (("failure",), FIELDS + FAILURE_FIELDS),
             (("metrics", "check"), FIELDS + METRIC_FIELDS + CHECK_FIELDS),
             (("metrics", "check", "analyze", "failure"),
              FIELDS + METRIC_FIELDS + CHECK_FIELDS + ANALYZE_FIELDS
              + FAILURE_FIELDS),
+            (("analyze", "bounds"),
+             FIELDS + ANALYZE_FIELDS + BOUNDS_FIELDS),
             (("check", "failure"), FIELDS + CHECK_FIELDS + FAILURE_FIELDS),
         ],
     )

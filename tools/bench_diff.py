@@ -60,6 +60,8 @@ DEFAULT_GATES: dict[str, str] = {
     "conformance.null_faults_vs_plain": "max",
     "conformance.checked_vs_plain": "max",
     "analysis.checked_vs_analyze": "min",
+    "bounds.bounds_paper_s": "max",
+    "bounds.etree_vs_analyze": "min",
     "engines.gate.speedup": "min",
     "runtime.supervised_vs_plain": "max",
     "obs.traced_vs_plain": "max",

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Repo-specific AST lint rules (run in CI next to ruff).
 
-Six invariants of this codebase that generic linters cannot express:
+Seven invariants of this codebase that generic linters cannot express:
 
 ``private-mutation``
     Outside ``src/repro/machine/``, no code may assign to, aug-assign
@@ -55,6 +55,14 @@ Six invariants of this codebase that generic linters cannot express:
     ``time.time()`` span silently breaks under clock adjustment and
     cannot be aligned cross-process.
 
+``rule-registry-sync``
+    The diagnostic registry (``src/repro/analysis/diagnostics.py``) and
+    the rule-catalogue table in ``docs/analysis.md`` must list exactly
+    the same ``SAxxx`` codes.  A rule shipped without documentation —
+    or a documented code with no registry entry — is drift the SARIF
+    driver and the docs would silently disagree on.  (Whole-repo check;
+    it runs once per lint invocation, not per file.)
+
 Usage::
 
     python tools/lint_rules.py            # lint the repo, exit 1 on findings
@@ -65,6 +73,7 @@ from __future__ import annotations
 
 import ast
 import pathlib
+import re
 import sys
 from typing import Iterable, Optional
 
@@ -328,6 +337,35 @@ def check_naked_sleep(tree: ast.AST, path: str) -> list[tuple[int, str]]:
     return out
 
 
+#: The diagnostic registry and its human-readable catalogue; the two
+#: must list exactly the same SAxxx codes.
+RULE_REGISTRY = pathlib.PurePosixPath("src/repro/analysis/diagnostics.py")
+RULE_CATALOGUE = pathlib.PurePosixPath("docs/analysis.md")
+
+_SA_STRING = re.compile(r'"(SA\d{3})"')
+_SA_TABLE_ROW = re.compile(r"^\|\s*(SA\d{3})\s*\|")
+
+
+def check_rule_registry_sync(repo: pathlib.Path = REPO) -> list[str]:
+    """``rule-registry-sync`` findings (whole-repo, not per-file)."""
+    registry = set(_SA_STRING.findall((repo / RULE_REGISTRY).read_text()))
+    documented = {
+        m.group(1)
+        for line in (repo / RULE_CATALOGUE).read_text().splitlines()
+        if (m := _SA_TABLE_ROW.match(line))
+    }
+    out = [
+        f"{RULE_CATALOGUE}:1: rule-registry-sync: {code} is registered in "
+        f"{RULE_REGISTRY} but has no rule-catalogue table row"
+        for code in sorted(registry - documented)
+    ] + [
+        f"{RULE_CATALOGUE}:1: rule-registry-sync: table row {code} has no "
+        f"registry entry in {RULE_REGISTRY}"
+        for code in sorted(documented - registry)
+    ]
+    return out
+
+
 def lint_file(path: pathlib.Path, repo: pathlib.Path = REPO) -> list[str]:
     rel = pathlib.PurePosixPath(path.resolve().relative_to(repo).as_posix())
     try:
@@ -364,6 +402,8 @@ def main(argv: Optional[list[str]] = None) -> int:
     argv = sys.argv[1:] if argv is None else argv
     files = [pathlib.Path(a) for a in argv] or iter_default_files()
     findings: list[str] = []
+    if not argv:  # whole-repo checks only on full lints
+        findings.extend(check_rule_registry_sync())
     for f in files:
         findings.extend(lint_file(f))
     for line in findings:
